@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short vet bench results clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench . -benchmem
+
+# Regenerate every reproduction experiment at full scale (minutes).
+results:
+	go run ./cmd/crbench -seed 7 -o results_full.txt
+
+clean:
+	go clean ./...

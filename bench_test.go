@@ -1,0 +1,188 @@
+package fadingcr_test
+
+// One benchmark per reproduction experiment of DESIGN.md §6 (E1–E11): each
+// bench regenerates the experiment's tables at quick scale and reports the
+// key headline number as a custom metric, so `go test -bench .` replays the
+// entire reproduction. The full-scale tables in EXPERIMENTS.md come from
+// `go run ./cmd/crbench`.
+//
+// The file also carries micro-benchmarks of the performance-critical
+// substrate operations (SINR delivery, link class computation).
+
+import (
+	"strconv"
+	"testing"
+
+	fadingcr "fadingcr"
+	"fadingcr/internal/core"
+	"fadingcr/internal/experiments"
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
+)
+
+// benchExperiment runs one registered experiment per iteration at quick
+// scale, varying the seed so iterations do independent work.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(experiments.Config{Seed: uint64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s returned no tables", id)
+		}
+	}
+}
+
+// BenchmarkE1ScalingN regenerates Figure 1: rounds vs n (Theorem 1 shape).
+func BenchmarkE1ScalingN(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2ScalingR regenerates Figure 2: rounds vs link classes (log R term).
+func BenchmarkE2ScalingR(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Comparison regenerates Table 1: all algorithms head-to-head.
+func BenchmarkE3Comparison(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4ClassDecay regenerates Figure 3: q_t envelope decay.
+func BenchmarkE4ClassDecay(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5GoodNodes regenerates Figure 4: Lemma 6 good-node fractions.
+func BenchmarkE5GoodNodes(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Hitting regenerates Figure 5: hitting-game horizons (Lemma 13).
+func BenchmarkE6Hitting(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7HighProbability regenerates Table 2: failure rates under C·log n budgets.
+func BenchmarkE7HighProbability(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8RadioBaselines regenerates Table 3: radio baselines vs their bounds.
+func BenchmarkE8RadioBaselines(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Ablation regenerates Figure 6: p and α ablations.
+func BenchmarkE9Ablation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10SpatialReuse regenerates Figure 7: spatial reuse on/off.
+func BenchmarkE10SpatialReuse(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11TwoPlayer regenerates Table 4: two-player horizons (Lemma 14).
+func BenchmarkE11TwoPlayer(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Rayleigh regenerates the Rayleigh-fading robustness extension.
+func BenchmarkE12Rayleigh(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Interleaving regenerates the unknown-R interleaving extension.
+func BenchmarkE13Interleaving(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Adversary regenerates the worst-case-referee hitting values.
+func BenchmarkE14Adversary(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Activation regenerates the partial-activation / embedding runs.
+func BenchmarkE15Activation(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Energy regenerates the transmissions-to-solve accounting.
+func BenchmarkE16Energy(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17Mechanism regenerates the knock-out mechanism ablation.
+func BenchmarkE17Mechanism(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18Capacity regenerates the centralized spatial-reuse capacities.
+func BenchmarkE18Capacity(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkSolve measures one full contention resolution on the fading
+// channel at several n — the end-to-end hot path.
+func BenchmarkSolve(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			d, err := fadingcr.UniformDisk(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := fadingcr.Solve(d, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Solved {
+					b.Fatal("unsolved")
+				}
+				rounds += res.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/solve")
+		})
+	}
+}
+
+// BenchmarkSINRDeliver measures one round of SINR delivery, the inner loop
+// of every fading-channel experiment.
+func BenchmarkSINRDeliver(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			d, err := geom.UniformDisk(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+			params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+			ch, err := sinr.New(params, d.Points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := make([]bool, n)
+			for i := 0; i < n; i += 5 { // 20% transmitters, the default p
+				tx[i] = true
+			}
+			recv := make([]int, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.Deliver(tx, recv)
+			}
+		})
+	}
+}
+
+// BenchmarkLinkClasses measures the analysis-side link class partition.
+func BenchmarkLinkClasses(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			d, err := geom.UniformDisk(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			active := make([]bool, n)
+			for i := range active {
+				active[i] = true
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				geom.ComputeLinkClasses(d.Points, active)
+			}
+		})
+	}
+}
+
+// BenchmarkFixedProbabilityRound measures the per-round protocol overhead
+// (coin flips) without the channel.
+func BenchmarkFixedProbabilityRound(b *testing.B) {
+	nodes := core.FixedProbability{}.Build(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range nodes {
+			if u.Act(i+1) == sim.Transmit {
+				u.Hear(i+1, -1, sim.Unknown)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command crbench regenerates the reproduction experiments of DESIGN.md §6
+// and prints their tables.
+//
+// Usage:
+//
+//	crbench                       # run everything at full scale
+//	crbench -ids E1,E3 -quick     # selected experiments, small sweeps
+//	crbench -format markdown -o results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fadingcr/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list the registered experiments and exit")
+		ids    = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
+		quick  = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		seed   = fs.Uint64("seed", 1, "master seed")
+		trials = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
+		format = fs.String("format", "text", "output format: text|markdown")
+		out    = fs.String("o", "", "write output to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "markdown" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *ids == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment id %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "\n==== %s — %s ====\n", e.ID, e.Title)
+		fmt.Fprintf(w, "Claim: %s\n\n", e.Claim)
+		for _, tab := range tables {
+			if *format == "markdown" {
+				fmt.Fprintln(w, tab.Markdown())
+			} else {
+				fmt.Fprintln(w, tab.Text())
+			}
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunPlayers(t *testing.T) {
+	for _, player := range []string{"half", "density", "cr-fixed", "cr-sweep"} {
+		if err := run([]string{"-k", "32", "-player", player, "-trials", "30", "-seed", "2"}); err != nil {
+			t.Errorf("player %s: %v", player, err)
+		}
+	}
+}
+
+func TestRunCustomDensity(t *testing.T) {
+	if err := run([]string{"-k", "16", "-player", "density", "-q", "0.25", "-trials", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-player", "nope", "-trials", "5"}); err == nil {
+		t.Error("unknown player accepted")
+	}
+	if err := run([]string{"-k", "1", "-trials", "5"}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if err := run([]string{"-player", "density", "-q", "2", "-trials", "5"}); err == nil {
+		t.Error("q=2 accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunAdversaryMode(t *testing.T) {
+	for _, player := range []string{"half", "cr-fixed"} {
+		if err := run([]string{"-k", "16", "-player", player, "-trials", "8", "-adversary"}); err != nil {
+			t.Errorf("adversary mode with %s: %v", player, err)
+		}
+	}
+}

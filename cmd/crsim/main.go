@@ -1,0 +1,247 @@
+// Command crsim runs a single contention resolution simulation and prints
+// the outcome (and optionally a per-round trace).
+//
+// Usage:
+//
+//	crsim -n 256 -deploy disk -algo fixed -channel sinr -seed 1 -trace
+//
+// Deployments: disk, square, grid, clusters, chain, pairs.
+// Algorithms:  fixed, sweep, decay, backoff, dampened, cdhalving, estimate.
+// Channels:    sinr, rayleigh, radio, radio-cd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"fadingcr/internal/baselines"
+	"fadingcr/internal/core"
+	"fadingcr/internal/geom"
+	"fadingcr/internal/radio"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
+	"fadingcr/internal/stats"
+	"fadingcr/internal/trace"
+	"fadingcr/internal/viz"
+	"fadingcr/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crsim", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 128, "number of participating nodes")
+		deploy     = fs.String("deploy", "disk", "deployment: disk|square|grid|clusters|chain|pairs")
+		algo       = fs.String("algo", "fixed", "algorithm: fixed|sweep|decay|backoff|dampened|cdhalving|estimate|interleaved|knockout-sweep|staggered")
+		channel    = fs.String("channel", "sinr", "channel: sinr|rayleigh|radio|radio-cd")
+		seed       = fs.Uint64("seed", 1, "master seed (deployment and protocol)")
+		p          = fs.Float64("p", core.DefaultP, "broadcast probability for -algo fixed")
+		alpha      = fs.Float64("alpha", 3, "path-loss exponent α > 2")
+		beta       = fs.Float64("beta", 1.5, "SINR threshold β")
+		noise      = fs.Float64("noise", 1, "ambient noise N")
+		maxRounds  = fs.Int("max-rounds", 0, "round budget (0 = auto)")
+		showTrace  = fs.Bool("trace", false, "print per-round transmitter/reception counts")
+		csvPath    = fs.String("csv", "", "write the per-round trace as CSV to this file")
+		plot       = fs.Bool("plot", false, "render an ASCII scatter of the deployment and activity sparklines")
+		deployFile = fs.String("deploy-file", "", "load node positions from this CSV (x,y per line) instead of -deploy")
+		trials     = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *geom.Deployment
+	var err error
+	if *deployFile != "" {
+		f, err := os.Open(*deployFile)
+		if err != nil {
+			return err
+		}
+		pts, rerr := geom.ReadPoints(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		d, err = geom.NewDeployment(pts)
+		if err != nil {
+			return err
+		}
+		*deploy = *deployFile
+	} else {
+		d, err = makeDeployment(*deploy, *seed, *n)
+		if err != nil {
+			return err
+		}
+	}
+	builder, err := makeBuilder(*algo, *p, d.N())
+	if err != nil {
+		return err
+	}
+
+	params := sinr.Params{Alpha: *alpha, Beta: *beta, Noise: *noise}
+	params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+
+	var ch sim.Channel
+	cfg := sim.Config{}
+	switch *channel {
+	case "sinr":
+		ch, err = sinr.New(params, d.Points)
+	case "rayleigh":
+		ch, err = sinr.NewRayleigh(params, d.Points, *seed+1)
+	case "radio":
+		ch, err = radio.New(d.N(), false)
+	case "radio-cd":
+		ch, err = radio.New(d.N(), true)
+		cfg.CollisionDetection = true
+	default:
+		return fmt.Errorf("unknown channel %q", *channel)
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg.MaxRounds = *maxRounds
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 2000 + 200*int(math.Ceil(math.Log2(float64(d.N())+1)))
+	}
+	rec := &trace.Recorder{}
+	if *showTrace || *csvPath != "" || *plot {
+		cfg.Tracer = rec
+	}
+
+	fmt.Printf("deployment: %s, n=%d, R=%.4g (%d possible link classes)\n", *deploy, d.N(), d.R, d.LinkClassCount())
+	fmt.Printf("channel:    %s (α=%.3g β=%.3g N=%.3g P=%.4g)\n", *channel, params.Alpha, params.Beta, params.Noise, params.Power)
+	fmt.Printf("algorithm:  %s\n", builder.Name())
+
+	if *trials > 1 {
+		return runTrials(ch, builder, *seed, cfg, *trials)
+	}
+
+	res, err := sim.Run(ch, builder, *seed+2, cfg)
+	if err != nil {
+		return err
+	}
+	if res.Solved {
+		fmt.Printf("SOLVED in round %d by node %d (%d total transmissions)\n", res.Rounds, res.Winner, res.Transmissions)
+	} else {
+		fmt.Printf("UNSOLVED after %d rounds (%d total transmissions)\n", res.Rounds, res.Transmissions)
+	}
+
+	if *plot {
+		fmt.Printf("\ndeployment (x-y plane, %d nodes):\n%s\n", d.N(), viz.Scatter(d.Points, nil, 64, 18))
+		var actives, txs []int
+		for _, e := range rec.Events {
+			actives = append(actives, e.Active)
+			txs = append(txs, e.Transmitters)
+		}
+		fmt.Printf("active nodes per round:  %s\n", viz.Sparkline(actives))
+		fmt.Printf("transmitters per round:  %s\n", viz.Sparkline(txs))
+	}
+	if *showTrace {
+		for _, e := range rec.Events {
+			fmt.Printf("  round %4d: tx=%4d recv=%4d active=%4d\n", e.Round, e.Transmitters, e.Receptions, e.Active)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+// runTrials executes several independent runs and prints summary statistics.
+func runTrials(ch sim.Channel, builder sim.Builder, seed uint64, cfg sim.Config, trials int) error {
+	var rounds []float64
+	unsolved := 0
+	for trial := 0; trial < trials; trial++ {
+		res, err := sim.Run(ch, builder, xrand.Split(seed, uint64(trial)), cfg)
+		if err != nil {
+			return err
+		}
+		if !res.Solved {
+			unsolved++
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	s, err := stats.Summarize(rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trials:     %d (%d unsolved within %d rounds)\n", trials, unsolved, cfg.MaxRounds)
+	fmt.Printf("rounds:     mean=%.1f median=%.1f p95=%.1f max=%.0f\n",
+		s.Mean, s.Median, stats.QuantileOf(rounds, 0.95), s.Max)
+	return nil
+}
+
+func makeDeployment(kind string, seed uint64, n int) (*geom.Deployment, error) {
+	switch kind {
+	case "disk":
+		return geom.UniformDisk(seed, n)
+	case "square":
+		return geom.UniformSquare(seed, n)
+	case "grid":
+		return geom.PerturbedGrid(seed, n, 0.25)
+	case "clusters":
+		k := int(math.Max(1, math.Sqrt(float64(n))/2))
+		return geom.Clusters(seed, n, k, 2, 20*math.Sqrt(float64(n)))
+	case "chain":
+		classes := int(math.Max(1, math.Round(math.Log2(float64(n)))))
+		pairs := n / (2 * classes)
+		if pairs < 1 {
+			pairs = 1
+		}
+		return geom.ExponentialChain(seed, classes, pairs)
+	case "pairs":
+		if n%2 != 0 {
+			n++
+		}
+		return geom.CoLocatedPairs(n, 100)
+	default:
+		return nil, fmt.Errorf("unknown deployment %q", kind)
+	}
+}
+
+func makeBuilder(algo string, p float64, n int) (sim.Builder, error) {
+	switch algo {
+	case "fixed":
+		return core.FixedProbability{P: p}, nil
+	case "sweep":
+		return baselines.ProbabilitySweep{}, nil
+	case "decay":
+		return baselines.Decay{N: n}, nil
+	case "backoff":
+		return baselines.BinaryExponentialBackoff{}, nil
+	case "dampened":
+		if n < 4 {
+			n = 4
+		}
+		return baselines.DampenedSweep{N: n}, nil
+	case "cdhalving":
+		return baselines.CollisionDetectHalving{}, nil
+	case "estimate":
+		return baselines.CDBinaryEstimate{}, nil
+	case "interleaved":
+		return core.Interleaved{A: core.FixedProbability{}, B: baselines.ProbabilitySweep{}}, nil
+	case "knockout-sweep":
+		return core.WithKnockout{Inner: baselines.ProbabilitySweep{}}, nil
+	case "staggered":
+		return core.StaggeredStart{Inner: core.FixedProbability{P: p}, MaxDelay: 32}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-n", "32", "-seed", "3"}); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}
+
+func TestRunAllDeployments(t *testing.T) {
+	for _, deploy := range []string{"disk", "square", "grid", "clusters", "chain", "pairs"} {
+		if err := run([]string{"-n", "24", "-deploy", deploy}); err != nil {
+			t.Errorf("deploy %s: %v", deploy, err)
+		}
+	}
+	if err := run([]string{"-deploy", "nope"}); err == nil {
+		t.Error("unknown deployment accepted")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"fixed", "sweep", "decay", "backoff", "dampened", "interleaved", "knockout-sweep", "staggered"} {
+		if err := run([]string{"-n", "16", "-algo", algo, "-channel", "radio"}); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	if err := run([]string{"-n", "16", "-algo", "cdhalving", "-channel", "radio-cd"}); err != nil {
+		t.Errorf("cdhalving: %v", err)
+	}
+	if err := run([]string{"-algo", "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunChannels(t *testing.T) {
+	for _, ch := range []string{"sinr", "rayleigh", "radio"} {
+		if err := run([]string{"-n", "16", "-channel", ch}); err != nil {
+			t.Errorf("channel %s: %v", ch, err)
+		}
+	}
+	if err := run([]string{"-channel", "nope"}); err == nil {
+		t.Error("unknown channel accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-n", "16", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,transmitters,receptions,active") {
+		t.Errorf("CSV header missing: %q", string(data[:min(len(data), 60)]))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunDeployFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	if err := os.WriteFile(path, []byte("x,y\n0,0\n1,0\n0,3\n8,8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-deploy-file", path}); err != nil {
+		t.Fatalf("deploy-file run: %v", err)
+	}
+	if err := run([]string{"-deploy-file", filepath.Join(t.TempDir(), "missing.csv")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("x,y\n1,2\nbroken,row\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-deploy-file", bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestRunTrialsSummary(t *testing.T) {
+	if err := run([]string{"-n", "16", "-trials", "5", "-seed", "8"}); err != nil {
+		t.Fatalf("trials run: %v", err)
+	}
+}
+
+func TestRunPlotAndMaxRounds(t *testing.T) {
+	if err := run([]string{"-n", "24", "-plot", "-max-rounds", "500"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRadioCDChannel(t *testing.T) {
+	if err := run([]string{"-n", "16", "-channel", "radio-cd", "-algo", "cdhalving"}); err != nil {
+		t.Fatal(err)
+	}
+}

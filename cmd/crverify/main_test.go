@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunAllChecksPass(t *testing.T) {
+	if code := run([]string{"-seed", "7", "-trials", "10"}); code != 0 {
+		t.Fatalf("crverify exited %d, want 0", code)
+	}
+}
+
+func TestRunOtherSeedAlsoPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if code := run([]string{"-seed", "99", "-trials", "10"}); code != 0 {
+		t.Fatalf("crverify with seed 99 exited %d, want 0", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,35 @@
+// Package fadingcr is a from-scratch Go reproduction of "Contention
+// Resolution on a Fading Channel" (Fineman, Gilbert, Kuhn, Newport, PODC
+// 2016).
+//
+// The paper shows that on a fading (SINR) channel, the simplest conceivable
+// protocol — every active node broadcasts with a fixed constant probability
+// and deactivates upon receiving any message — resolves contention in
+// O(log n + log R) rounds with high probability, beating the Ω(log² n)
+// lower bound of the classical radio network model by leveraging spatial
+// reuse. It complements this with an Ω(log n) lower bound via a reduction
+// from the restricted k-hitting game.
+//
+// This package is the public facade over the repository's internal
+// subsystems:
+//
+//   - deployments of nodes in the plane (uniform, grid, clustered,
+//     exponential-chain) with the paper's normalisation (shortest link = 1),
+//   - the SINR channel of the paper's Equation (1), an optional
+//     Rayleigh-faded variant, and the classical collision (radio) channel,
+//   - the paper's fixed-probability algorithm plus five baseline algorithms,
+//   - a synchronous round engine with a solo-broadcast termination oracle,
+//   - the restricted k-hitting game and two-player reduction of the lower
+//     bound, and
+//   - the experiment harness regenerating every reproduction target of
+//     DESIGN.md §6.
+//
+// # Quick start
+//
+//	d, err := fadingcr.UniformDisk(1, 128)      // 128 nodes, seed 1
+//	if err != nil { ... }
+//	res, err := fadingcr.Solve(d, 2)            // run the paper's algorithm
+//	fmt.Printf("solved in %d rounds by node %d\n", res.Rounds, res.Winner)
+//
+// See examples/ for runnable programs and cmd/ for the CLIs.
+package fadingcr

@@ -1,0 +1,83 @@
+package fadingcr_test
+
+import (
+	"fmt"
+	"log"
+
+	fadingcr "fadingcr"
+)
+
+// ExampleSolve runs the paper's algorithm end to end on a small, fixed
+// deployment. Results are deterministic in the seeds.
+func ExampleSolve() {
+	d, err := fadingcr.NewDeployment([]fadingcr.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 3}, {X: 5, Y: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fadingcr.Solve(d, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solved:", res.Solved)
+	// Output:
+	// solved: true
+}
+
+// ExampleRun shows the lower-level API: choose a channel and a protocol
+// explicitly and drive the round engine.
+func ExampleRun() {
+	ch, err := fadingcr.NewRadioChannel(8, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fadingcr.Run(ch, fadingcr.ProbabilitySweep{}, 3,
+		fadingcr.Config{MaxRounds: 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solved:", res.Solved)
+	// Output:
+	// solved: true
+}
+
+// ExamplePlayHittingGame plays one instance of the restricted k-hitting
+// game behind the paper's lower bound.
+func ExamplePlayHittingGame() {
+	ref, err := fadingcr.NewHittingReferee(32, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	player, err := fadingcr.NewFixedDensityPlayer(32, 0.5, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, won, err := fadingcr.PlayHittingGame(ref, player, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("won:", won)
+	// Output:
+	// won: true
+}
+
+// ExampleDeployment_Subset demonstrates partial activation: only the
+// activated subset participates.
+func ExampleDeployment_Subset() {
+	d, err := fadingcr.UniformDisk(1, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := fadingcr.RandomSubset(2, 100, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	active, err := d.Subset(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("participants:", active.N())
+	// Output:
+	// participants: 10
+}

@@ -1,0 +1,76 @@
+// Lowerbound: the paper's Section 4 made executable. The Ω(log n) lower
+// bound reduces the restricted k-hitting game to two-player contention
+// resolution: a contention resolution algorithm simulated on k virtual nodes
+// (every node fed silence) is a legal hitting-game player, so the game's
+// Ω(log k) bound applies to the algorithm. This example plays both games
+// with the paper's algorithm and shows the matching log k horizons.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	fadingcr "fadingcr"
+	"fadingcr/internal/xrand"
+)
+
+const trials = 400
+
+func main() {
+	fmt.Println("k      hitting-game horizon   two-player horizon   log2(k)")
+	fmt.Println("--------------------------------------------------------------")
+	for _, k := range []int{16, 64, 256, 1024} {
+		hit := hittingHorizon(k)
+		two := twoPlayerHorizon(k)
+		fmt.Printf("%-6d %-22.1f %-20.1f %.1f\n", k, hit, two, math.Log2(float64(k)))
+	}
+	fmt.Println()
+	fmt.Println("Both horizons (the round budget needed for success probability")
+	fmt.Println("1 − 1/k) grow linearly in log k — the empirical face of the")
+	fmt.Println("paper's Ω(log n) lower bound (Lemmas 13 and 14).")
+}
+
+// hittingHorizon plays the restricted k-hitting game with the Lemma 14
+// reduction player built from the paper's algorithm and returns the
+// (1 − 1/k)-quantile of the winning round.
+func hittingHorizon(k int) float64 {
+	var rounds []float64
+	for trial := 0; trial < trials; trial++ {
+		ref, err := fadingcr.NewHittingReferee(k, xrand.Split(1, uint64(trial)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := fadingcr.NewSimulationPlayer(fadingcr.FixedProbability{}, k, xrand.Split(2, uint64(trial)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, won, err := fadingcr.PlayHittingGame(ref, p, 1000000)
+		if err != nil || !won {
+			log.Fatalf("trial %d: won=%v err=%v", trial, won, err)
+		}
+		rounds = append(rounds, float64(r))
+	}
+	return quantile(rounds, 1-1/float64(k))
+}
+
+// twoPlayerHorizon plays two-player contention resolution directly and
+// returns the same quantile.
+func twoPlayerHorizon(k int) float64 {
+	var rounds []float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := fadingcr.PlayTwoPlayer(fadingcr.FixedProbability{}, xrand.Split(3, uint64(trial)), 1000000)
+		if err != nil || !res.Won {
+			log.Fatalf("trial %d: %+v err=%v", trial, res, err)
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	return quantile(rounds, 1-1/float64(k))
+}
+
+func quantile(xs []float64, q float64) float64 {
+	sort.Float64s(xs)
+	idx := int(q * float64(len(xs)-1))
+	return xs[idx]
+}

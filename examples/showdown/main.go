@@ -1,0 +1,84 @@
+// Showdown: the paper's headline claim as a head-to-head race. The same
+// contention resolution problem is solved by (a) the paper's
+// fixed-probability algorithm on the fading channel, and (b) the classical
+// radio-network strategies on the collision channel — demonstrating the
+// log n vs log² n separation that resolves the spectrum-reuse conjecture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	fadingcr "fadingcr"
+	"fadingcr/internal/table"
+	"fadingcr/internal/xrand"
+)
+
+const trials = 15
+
+func main() {
+	tab := table.New("median rounds to resolve contention (15 trials)",
+		"algorithm / channel", "n=32", "n=128", "n=512")
+	ns := []int{32, 128, 512}
+
+	rows := []struct {
+		label string
+		run   func(n int, seed uint64) (fadingcr.Result, error)
+	}{
+		{"fixed-probability / SINR fading", runFading},
+		{"probability-sweep / collision", runRadio(fadingcr.ProbabilitySweep{}, false)},
+		{"decay / collision", func(n int, seed uint64) (fadingcr.Result, error) {
+			return runRadio(fadingcr.Decay{N: n}, false)(n, seed)
+		}},
+		{"cd-halving / collision+CD", runRadio(fadingcr.CollisionDetectHalving{}, true)},
+	}
+	for _, row := range rows {
+		cells := []string{row.label}
+		for _, n := range ns {
+			med, err := median(row.run, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells = append(cells, fmt.Sprintf("%.0f", med))
+		}
+		tab.AddRow(cells...)
+	}
+	fmt.Print(tab.Text())
+	fmt.Println("\nThe fading channel matches the collision-detection bound with no")
+	fmt.Println("collision detection — the paper's central result.")
+}
+
+func median(run func(n int, seed uint64) (fadingcr.Result, error), n int) (float64, error) {
+	var rounds []float64
+	for trial := 0; trial < trials; trial++ {
+		res, err := run(n, xrand.Split(123, uint64(trial)))
+		if err != nil {
+			return 0, err
+		}
+		if !res.Solved {
+			return 0, fmt.Errorf("n=%d trial %d unsolved after %d rounds", n, trial, res.Rounds)
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	sort.Float64s(rounds)
+	return rounds[len(rounds)/2], nil
+}
+
+func runFading(n int, seed uint64) (fadingcr.Result, error) {
+	d, err := fadingcr.UniformDisk(seed, n)
+	if err != nil {
+		return fadingcr.Result{}, err
+	}
+	return fadingcr.Solve(d, seed+1)
+}
+
+func runRadio(b fadingcr.Builder, cd bool) func(n int, seed uint64) (fadingcr.Result, error) {
+	return func(n int, seed uint64) (fadingcr.Result, error) {
+		ch, err := fadingcr.NewRadioChannel(n, cd)
+		if err != nil {
+			return fadingcr.Result{}, err
+		}
+		return fadingcr.Run(ch, b, seed, fadingcr.Config{MaxRounds: 100000, CollisionDetection: cd})
+	}
+}

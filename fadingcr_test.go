@@ -1,0 +1,159 @@
+package fadingcr_test
+
+import (
+	"strings"
+	"testing"
+
+	fadingcr "fadingcr"
+)
+
+func TestSolveQuickstartPath(t *testing.T) {
+	d, err := fadingcr.UniformDisk(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fadingcr.Solve(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("unsolved: %+v", res)
+	}
+	if res.Winner < 0 || res.Winner >= 64 {
+		t.Errorf("winner %d out of range", res.Winner)
+	}
+}
+
+func TestSolveTwoNode(t *testing.T) {
+	res, err := fadingcr.Solve(fadingcr.TwoNode(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("two-node deployment unsolved: %+v", res)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	d, err := fadingcr.UniformDisk(9, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fadingcr.Solve(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fadingcr.Solve(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("Solve not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFacadeChannelsInterchangeable(t *testing.T) {
+	// A radio channel satisfies the same Channel interface as SINR: the
+	// facade's Run accepts both.
+	ch, err := fadingcr.NewRadioChannel(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fadingcr.Run(ch, fadingcr.ProbabilitySweep{}, 7, fadingcr.Config{MaxRounds: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Errorf("sweep unsolved on radio: %+v", res)
+	}
+}
+
+func TestFacadeHittingGame(t *testing.T) {
+	ref, err := fadingcr.NewHittingReferee(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fadingcr.NewFixedDensityPlayer(16, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, won, err := fadingcr.PlayHittingGame(ref, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won || rounds < 1 {
+		t.Errorf("rounds=%d won=%v", rounds, won)
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	if got := len(fadingcr.Experiments()); got != 18 {
+		t.Errorf("Experiments() returned %d, want 18", got)
+	}
+	if _, ok := fadingcr.ExperimentByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+}
+
+func TestFacadeRayleighChannel(t *testing.T) {
+	d := fadingcr.TwoNode()
+	params := fadingcr.DefaultParams()
+	params.Power = fadingcr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, fadingcr.DefaultSingleHopMargin)
+	ch, err := fadingcr.NewRayleighChannel(params, d.Points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fadingcr.Run(ch, fadingcr.FixedProbability{}, 2, fadingcr.Config{MaxRounds: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Errorf("unsolved on Rayleigh channel: %+v", res)
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	d, err := fadingcr.UniformDisk(5, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := fadingcr.DefaultParams()
+	params.Power = fadingcr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, fadingcr.DefaultSingleHopMargin)
+	requests := fadingcr.NearestNeighborLinks(d.Points)
+	chosen, err := fadingcr.GreedySchedule(params, d.Points, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) < 2 {
+		t.Errorf("capacity %d; expected spatial reuse", len(chosen))
+	}
+	ok, err := fadingcr.ScheduleFeasible(params, d.Points, chosen)
+	if err != nil || !ok {
+		t.Errorf("greedy schedule infeasible (ok=%v err=%v)", ok, err)
+	}
+	rounds, err := fadingcr.ScheduleAll(params, d.Points, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 || len(rounds) >= len(requests) {
+		t.Errorf("%d rounds for %d requests", len(rounds), len(requests))
+	}
+}
+
+func TestFacadePointsIO(t *testing.T) {
+	d, err := fadingcr.UniformDisk(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := fadingcr.WritePoints(&b, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := fadingcr.ReadPoints(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Errorf("round trip gave %d points", len(pts))
+	}
+}

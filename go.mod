@@ -1,0 +1,3 @@
+module fadingcr
+
+go 1.22

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClassBounds realises the class-bound vectors q_0, q_1, … of Section 3.3:
+// the "fitting strategy" that describes how link class sizes would decay in
+// an ideal execution. Position i of vector q_t is
+//
+//	q_t(i) = n                      for t ≤ s_i,
+//	q_t(i) = q_{t−1}(i)·γ_slow      for t > s_i,
+//
+// with start step s_i = i·l and l = ⌈log_{γ_slow}(ρ)⌉, so that class d_i
+// begins its geometric decay l steps after class d_{i−1} and consecutive
+// classes stay separated by (roughly) the ratio ρ.
+type ClassBounds struct {
+	// GammaSlow is the per-step survival fraction γ_slow ∈ (0, 1); the
+	// paper sets γ_slow = γ + ρ/(1−ρ) for the knock-out fraction γ of
+	// Corollary 7.
+	GammaSlow float64
+	// Rho is the target ratio ρ ∈ (0, 1) between consecutive class bounds.
+	Rho float64
+}
+
+// DefaultClassBounds returns the parameterisation used by experiment E4.
+// The constants in the paper's analysis are extremely conservative (they are
+// chosen for proof convenience, e.g. the 96 in the good-node definition);
+// for an *envelope* that real executions should respect we use a mild decay.
+func DefaultClassBounds() ClassBounds {
+	return ClassBounds{GammaSlow: 0.8, Rho: 0.5}
+}
+
+// Validate reports whether the parameters define a proper decay.
+func (cb ClassBounds) Validate() error {
+	if !(cb.GammaSlow > 0 && cb.GammaSlow < 1) {
+		return fmt.Errorf("core: GammaSlow %v outside (0, 1)", cb.GammaSlow)
+	}
+	if !(cb.Rho > 0 && cb.Rho < 1) {
+		return fmt.Errorf("core: Rho %v outside (0, 1)", cb.Rho)
+	}
+	return nil
+}
+
+// L returns the lag l = ⌈log_{γ_slow}(ρ)⌉ between the start steps of
+// consecutive classes. Since γ_slow < 1 and ρ < 1 the logarithm is positive.
+func (cb ClassBounds) L() int {
+	return int(math.Ceil(math.Log(cb.Rho) / math.Log(cb.GammaSlow)))
+}
+
+// StartStep returns s_i = i·l, the step at which class d_i begins to decay.
+func (cb ClassBounds) StartStep(i int) int { return i * cb.L() }
+
+// Vector returns q_t for a system of n nodes and m link classes: a length-m
+// slice with q_t(i) as defined above. Values below 1 are reported as 0 — a
+// bound below one node means the class must be empty.
+func (cb ClassBounds) Vector(n, m, t int) []float64 {
+	q := make([]float64, m)
+	l := cb.L()
+	for i := range q {
+		steps := t - i*l
+		if steps <= 0 {
+			q[i] = float64(n)
+			continue
+		}
+		v := float64(n) * math.Pow(cb.GammaSlow, float64(steps))
+		if v < 1 {
+			v = 0
+		}
+		q[i] = v
+	}
+	return q
+}
+
+// StepsToZero returns the smallest step T with q_T ≡ 0, which Claim 8 shows
+// is Θ(log n + log R) (here m−1 ≈ log R classes).
+func (cb ClassBounds) StepsToZero(n, m int) int {
+	if n <= 0 || m <= 0 {
+		return 0
+	}
+	// Class m−1 starts at (m−1)·l and needs log_{1/γ_slow}(n) decay steps
+	// to fall below 1.
+	decay := int(math.Ceil(math.Log(float64(n))/math.Log(1/cb.GammaSlow))) + 1
+	return (m-1)*cb.L() + decay
+}
+
+// Auxiliary returns the paper's auxiliary bound q*_{t+1}(i) =
+// q_t(i)·γ_slow − q_t(i)·ρ/(1−ρ): the more aggressive threshold whose
+// crossing implies the class stays below q_{t+1}(i) permanently even under
+// migrations from smaller classes (Section 3.3). Negative values clamp to 0.
+func (cb ClassBounds) Auxiliary(qt float64) float64 {
+	v := qt*cb.GammaSlow - qt*cb.Rho/(1-cb.Rho)
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassBoundsValidate(t *testing.T) {
+	if err := DefaultClassBounds().Validate(); err != nil {
+		t.Errorf("default bounds invalid: %v", err)
+	}
+	bad := []ClassBounds{
+		{GammaSlow: 0, Rho: 0.5},
+		{GammaSlow: 1, Rho: 0.5},
+		{GammaSlow: 0.5, Rho: 0},
+		{GammaSlow: 0.5, Rho: 1},
+		{GammaSlow: -1, Rho: 0.5},
+	}
+	for _, cb := range bad {
+		if err := cb.Validate(); err == nil {
+			t.Errorf("%+v accepted", cb)
+		}
+	}
+}
+
+func TestClassBoundsL(t *testing.T) {
+	// γ_slow = 0.5, ρ = 0.25: l = log_0.5(0.25) = 2.
+	cb := ClassBounds{GammaSlow: 0.5, Rho: 0.25}
+	if got := cb.L(); got != 2 {
+		t.Errorf("L = %d, want 2", got)
+	}
+	if got := cb.StartStep(3); got != 6 {
+		t.Errorf("StartStep(3) = %d, want 6", got)
+	}
+}
+
+func TestClassBoundsVectorKnownValues(t *testing.T) {
+	cb := ClassBounds{GammaSlow: 0.5, Rho: 0.25} // l = 2
+	const n, m = 64, 3
+	// t = 0: all classes still at n.
+	q0 := cb.Vector(n, m, 0)
+	for i, v := range q0 {
+		if v != 64 {
+			t.Errorf("q_0(%d) = %v, want 64", i, v)
+		}
+	}
+	// t = 1: class 0 has decayed once; classes 1, 2 have not started
+	// (s_1 = 2, s_2 = 4).
+	q1 := cb.Vector(n, m, 1)
+	if q1[0] != 32 || q1[1] != 64 || q1[2] != 64 {
+		t.Errorf("q_1 = %v, want [32 64 64]", q1)
+	}
+	// t = 3: class 0 decayed 3×, class 1 decayed once, class 2 not yet.
+	q3 := cb.Vector(n, m, 3)
+	if q3[0] != 8 || q3[1] != 32 || q3[2] != 64 {
+		t.Errorf("q_3 = %v, want [8 32 64]", q3)
+	}
+	// Deep t: everything flushes to 0 (values below one node).
+	q99 := cb.Vector(n, m, 99)
+	for i, v := range q99 {
+		if v != 0 {
+			t.Errorf("q_99(%d) = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestClassBoundsVectorMonotoneProperty: q_t(i) is non-increasing in t and
+// non-decreasing in i (smaller classes decay first).
+func TestClassBoundsVectorMonotoneProperty(t *testing.T) {
+	cb := DefaultClassBounds()
+	f := func(nRaw, mRaw, tRaw uint8) bool {
+		n := 1 + int(nRaw)
+		m := 1 + int(mRaw%12)
+		step := int(tRaw % 100)
+		qt := cb.Vector(n, m, step)
+		qt1 := cb.Vector(n, m, step+1)
+		for i := 0; i < m; i++ {
+			if qt1[i] > qt[i] {
+				return false
+			}
+			if i > 0 && qt[i] < qt[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsToZero(t *testing.T) {
+	cb := ClassBounds{GammaSlow: 0.5, Rho: 0.25}
+	for _, c := range []struct{ n, m int }{{2, 1}, {64, 1}, {64, 5}, {1024, 12}} {
+		steps := cb.StepsToZero(c.n, c.m)
+		q := cb.Vector(c.n, c.m, steps)
+		for i, v := range q {
+			if v != 0 {
+				t.Errorf("n=%d m=%d: q_%d(%d) = %v, want 0", c.n, c.m, steps, i, v)
+			}
+		}
+		// The bound is tight to within one lag: one step earlier the last
+		// class must still be positive (for n large enough to need decay).
+		if c.n > 2 {
+			prev := cb.Vector(c.n, c.m, steps-2)
+			positive := false
+			for _, v := range prev {
+				if v > 0 {
+					positive = true
+				}
+			}
+			if !positive {
+				t.Errorf("n=%d m=%d: StepsToZero %d not tight", c.n, c.m, steps)
+			}
+		}
+	}
+	if got := cb.StepsToZero(0, 5); got != 0 {
+		t.Errorf("StepsToZero(0, 5) = %d, want 0", got)
+	}
+	if got := cb.StepsToZero(5, 0); got != 0 {
+		t.Errorf("StepsToZero(5, 0) = %d, want 0", got)
+	}
+}
+
+// TestStepsToZeroShape: T grows like Θ(log n + m) — linear in m at fixed n
+// and logarithmic in n at fixed m (Claim 8 with m ≈ log R).
+func TestStepsToZeroShape(t *testing.T) {
+	cb := DefaultClassBounds()
+	// Linear in m.
+	t8 := cb.StepsToZero(256, 8)
+	t16 := cb.StepsToZero(256, 16)
+	t32 := cb.StepsToZero(256, 32)
+	if d1, d2 := t16-t8, t32-t16; d2 != 2*d1 {
+		t.Errorf("m-growth not linear: Δ(8→16)=%d, Δ(16→32)=%d", d1, d2)
+	}
+	// Logarithmic in n: doubling n adds a constant.
+	a := cb.StepsToZero(1024, 4) - cb.StepsToZero(512, 4)
+	b := cb.StepsToZero(1<<20, 4) - cb.StepsToZero(1<<19, 4)
+	if int(math.Abs(float64(a-b))) > 1 {
+		t.Errorf("n-growth not logarithmic: doubling increments %d vs %d", a, b)
+	}
+}
+
+func TestAuxiliary(t *testing.T) {
+	cb := ClassBounds{GammaSlow: 0.5, Rho: 0.25}
+	// q* = q(γ_slow − ρ/(1−ρ)) = q(0.5 − 1/3) = q/6.
+	if got, want := cb.Auxiliary(60), 10.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Auxiliary(60) = %v, want %v", got, want)
+	}
+	// When ρ/(1−ρ) ≥ γ_slow the auxiliary bound clamps at 0.
+	cb = ClassBounds{GammaSlow: 0.3, Rho: 0.5}
+	if got := cb.Auxiliary(10); got != 0 {
+		t.Errorf("clamped Auxiliary = %v, want 0", got)
+	}
+}
+
+// TestAuxiliaryImpliesPermanence reproduces the Section 3.3 argument in
+// miniature: if n_j ≤ q_t(j) for all j < i and n_i ≤ q*_{t+1}(i), then even
+// if every smaller-class node migrated into d_i the class stays ≤ q_{t+1}(i).
+// Numerically: q_t(<i) ≤ q_t(i)·ρ/(1−ρ) (Lemma 9), so
+// q*_{t+1}(i) + q_t(<i) ≤ q_t(i)·γ_slow = q_{t+1}(i).
+func TestAuxiliaryImpliesPermanence(t *testing.T) {
+	cb := DefaultClassBounds()
+	const n, m = 4096, 6
+	l := cb.L()
+	for step := 0; step < cb.StepsToZero(n, m); step++ {
+		q := cb.Vector(n, m, step)
+		qNext := cb.Vector(n, m, step+1)
+		for i := 1; i < m; i++ {
+			if qNext[i] >= float64(n) { // class not yet decaying; nothing to check
+				continue
+			}
+			smaller := 0.0
+			for j := 0; j < i; j++ {
+				smaller += q[j]
+			}
+			// Lemma 9 requires classes below i to have started decaying
+			// enough; that is guaranteed once step > s_i (= i·l).
+			if step <= i*l {
+				continue
+			}
+			if cb.Auxiliary(q[i])+smaller > qNext[i]+1e-9 {
+				t.Errorf("step %d class %d: aux %v + smaller %v > q_{t+1} %v",
+					step, i, cb.Auxiliary(q[i]), smaller, qNext[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"fadingcr/internal/sim"
+	"fadingcr/internal/xrand"
+)
+
+// CrashFaults is a failure-injection wrapper: each node independently
+// crash-stops with probability Rate at the start of every round, after which
+// it neither transmits nor observes anything. Crash-stop faults are the
+// standard benign fault model; they can only *reduce* contention, so
+// contention resolution remains solvable as long as at least one node
+// survives to transmit — the wrapper probes that the algorithms hold up
+// when the participant set erodes mid-execution.
+type CrashFaults struct {
+	// Inner is the wrapped protocol; must be non-nil.
+	Inner sim.Builder
+	// Rate is the per-node per-round crash probability in [0, 1).
+	Rate float64
+}
+
+var _ sim.Builder = CrashFaults{}
+
+// Name implements sim.Builder.
+func (c CrashFaults) Name() string {
+	return fmt.Sprintf("crash(%s, rate=%.3g)", c.Inner.Name(), c.Rate)
+}
+
+// Build implements sim.Builder. It panics on a nil inner builder or a rate
+// outside [0, 1) — static misconfigurations.
+func (c CrashFaults) Build(n int, seed uint64) []sim.Node {
+	if c.Inner == nil {
+		panic("core: CrashFaults requires an inner builder")
+	}
+	if c.Rate < 0 || c.Rate >= 1 {
+		panic(fmt.Sprintf("core: crash rate %v outside [0, 1)", c.Rate))
+	}
+	inner := c.Inner.Build(n, xrand.Split(seed, 0))
+	if len(inner) != n {
+		panic(fmt.Sprintf("core: inner builder returned %d nodes for n=%d", len(inner), n))
+	}
+	rng := xrand.New(xrand.Split(seed, 1))
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &crashNode{
+			inner: inner[i],
+			rate:  c.Rate,
+			rng:   xrand.New(rng.Uint64()),
+		}
+	}
+	return nodes
+}
+
+type crashNode struct {
+	inner   sim.Node
+	rate    float64
+	rng     *rand.Rand
+	crashed bool
+}
+
+func (u *crashNode) Act(round int) sim.Action {
+	if !u.crashed && xrand.Bernoulli(u.rng, u.rate) {
+		u.crashed = true
+	}
+	if u.crashed {
+		return sim.Listen
+	}
+	return u.inner.Act(round)
+}
+
+func (u *crashNode) Hear(round int, from int, detect sim.Feedback) {
+	if u.crashed {
+		return
+	}
+	u.inner.Hear(round, from, detect)
+}
+
+// Active reports whether the node still contends: crashed nodes are out, and
+// the inner node's own activity (if exposed) is respected.
+func (u *crashNode) Active() bool {
+	if u.crashed {
+		return false
+	}
+	if a, ok := u.inner.(Activeness); ok {
+		return a.Active()
+	}
+	return true
+}
+
+// Crashed reports whether the node has crash-stopped.
+func (u *crashNode) Crashed() bool { return u.crashed }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+
+	"fadingcr/internal/geom"
+)
+
+// This file makes the interference analysis of Section 3.2 executable: the
+// constants of Claims 1–2 and Lemma 4, the well-separated good subset S_i
+// with its partner set T_i, and direct interference accounting at the nodes
+// of S_i. The package tests validate the paper's bounds numerically on
+// concrete deployments.
+
+// Epsilon returns ε = α/2 − 1, the paper's slack between the quadratic
+// growth of interferer counts and the super-quadratic decay of signals
+// (positive exactly when α > 2).
+func Epsilon(alpha float64) float64 { return alpha/2 - 1 }
+
+// CMax returns the constant c_max of Claim 1: the proof bounds the
+// interference at a good node of class d_i, when every active node
+// transmits, by c_max·P/2^{iα} with c_max = 96/(1 − 2^{−ε}).
+func CMax(alpha float64) float64 {
+	eps := Epsilon(alpha)
+	return 96 / (1 - math.Pow(2, -eps))
+}
+
+// SeparationConstant returns the s of Lemma 4 for a target interference
+// constant c > 0: with pairwise separation (s+1)·2^i inside S_i, the
+// interference at a node of S_i from S_i ∪ T_i \ {partner} is at most
+// c·P/2^{iα} when s = (96/(c·(1−2^{−ε})))^{1/ε} (the lemma's closed form).
+func SeparationConstant(alpha, c float64) float64 {
+	eps := Epsilon(alpha)
+	return math.Pow(96/(c*(1-math.Pow(2, -eps))), 1/eps)
+}
+
+// SeparatedGoodSubset computes S_i for link class i: the greedy maximal
+// subset of the *good* active nodes of class i with pairwise distance
+// greater than (s+1)·2^i. By Lemma 2 it contains a constant fraction of the
+// good nodes.
+func SeparatedGoodSubset(pts []geom.Point, active []bool, lc *geom.LinkClasses, i int, alpha, r, s float64) []int {
+	var good []int
+	for u := range pts {
+		if lc.Class[u] != i {
+			continue
+		}
+		if geom.IsGood(pts, active, u, i, alpha, geom.MaxAnnulusIndex(r, i)) {
+			good = append(good, u)
+		}
+	}
+	minSep := (s + 1) * math.Pow(2, float64(i))
+	return geom.GreedySeparatedSubset(pts, good, minSep)
+}
+
+// Partners returns T_i: for each node of S_i, its partner — the closest
+// active node (already computed by the link class pass).
+func Partners(lc *geom.LinkClasses, si []int) []int {
+	out := make([]int, len(si))
+	for j, u := range si {
+		out[j] = lc.Nearest[u]
+	}
+	return out
+}
+
+// InterferenceBreakdown reports the interference arriving at node u if every
+// node of the given transmitter set broadcast simultaneously at power p over
+// the deployment, split into the Section 3.2 categories.
+type InterferenceBreakdown struct {
+	// Outside is the interference from transmitters not in S_i ∪ T_i.
+	Outside float64
+	// Inside is the interference from S_i ∪ T_i excluding u and its partner.
+	Inside float64
+	// Partner is the signal strength from u's partner.
+	Partner float64
+}
+
+// Total returns the interference u faces when decoding its partner: outside
+// plus inside (the partner's own signal is the payload, not interference).
+func (b InterferenceBreakdown) Total() float64 { return b.Outside + b.Inside }
+
+// BreakdownAt computes the interference categories at node u ∈ S_i assuming
+// every active node except u transmits at power p with path-loss alpha.
+// partner is u's partner (may be −1 for none); inSiTi reports membership in
+// S_i ∪ T_i.
+func BreakdownAt(pts []geom.Point, active []bool, u, partner int, inSiTi []bool, power, alpha float64) InterferenceBreakdown {
+	var b InterferenceBreakdown
+	for w := range pts {
+		if w == u || !active[w] {
+			continue
+		}
+		signal := power * math.Pow(pts[u].Dist2(pts[w]), -alpha/2)
+		switch {
+		case w == partner:
+			b.Partner = signal
+		case inSiTi[w]:
+			b.Inside += signal
+		default:
+			b.Outside += signal
+		}
+	}
+	return b
+}
+
+// MembershipMask returns a boolean mask over nodes marking S_i ∪ T_i.
+func MembershipMask(n int, si, ti []int) []bool {
+	mask := make([]bool, n)
+	for _, u := range si {
+		mask[u] = true
+	}
+	for _, v := range ti {
+		if v >= 0 {
+			mask[v] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sinr"
+	"fadingcr/internal/xrand"
+)
+
+func TestEpsilon(t *testing.T) {
+	if got := Epsilon(3); got != 0.5 {
+		t.Errorf("Epsilon(3) = %v, want 0.5", got)
+	}
+	if got := Epsilon(2); got != 0 {
+		t.Errorf("Epsilon(2) = %v, want 0", got)
+	}
+	if got := Epsilon(4); got != 1 {
+		t.Errorf("Epsilon(4) = %v, want 1", got)
+	}
+}
+
+func TestCMax(t *testing.T) {
+	// α = 4: ε = 1, c_max = 96/(1 − 1/2) = 192.
+	if got := CMax(4); math.Abs(got-192) > 1e-9 {
+		t.Errorf("CMax(4) = %v, want 192", got)
+	}
+	// c_max grows as α → 2 (the gap ε closes).
+	if CMax(2.2) <= CMax(3) {
+		t.Error("CMax should grow as alpha approaches 2")
+	}
+}
+
+func TestSeparationConstantInvertsLemma4(t *testing.T) {
+	// The closed form satisfies 96·(1/s^ε)/(1−2^{−ε}) = c by construction.
+	for _, alpha := range []float64{2.5, 3, 4} {
+		for _, c := range []float64{0.5, 1, 4} {
+			s := SeparationConstant(alpha, c)
+			eps := Epsilon(alpha)
+			got := 96 * math.Pow(s, -eps) / (1 - math.Pow(2, -eps))
+			if math.Abs(got-c) > 1e-9*c {
+				t.Errorf("alpha=%v c=%v: closed form gives %v", alpha, c, got)
+			}
+			if s <= 0 {
+				t.Errorf("alpha=%v c=%v: s = %v", alpha, c, s)
+			}
+		}
+	}
+}
+
+// activeAll returns an all-true mask.
+func activeAll(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+// TestClaim1GoodNodeInterferenceBound validates Claim 1 numerically: at a
+// good node u of class d_i, the total interference when every other active
+// node transmits at once is at most (c_max + 1)·P/2^{iα} (the +1 absorbs the
+// partner, which may sit exactly on the 2^i boundary outside all annuli).
+func TestClaim1GoodNodeInterferenceBound(t *testing.T) {
+	const alpha, power = 3.0, 1.0
+	for seed := uint64(1); seed <= 5; seed++ {
+		d, err := geom.UniformDisk(seed, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := activeAll(d.N())
+		lc := geom.ComputeLinkClasses(d.Points, active)
+		bound := CMax(alpha) + 1
+		for u := range d.Points {
+			i := lc.Class[u]
+			if i < 0 {
+				continue
+			}
+			if !geom.IsGood(d.Points, active, u, i, alpha, geom.MaxAnnulusIndex(d.R, i)) {
+				continue
+			}
+			total := 0.0
+			for w := range d.Points {
+				if w == u {
+					continue
+				}
+				total += power * math.Pow(d.Points[u].Dist2(d.Points[w]), -alpha/2)
+			}
+			limit := bound * power * math.Pow(2, -float64(i)*alpha)
+			if total > limit {
+				t.Errorf("seed %d node %d (class %d): interference %v > Claim 1 bound %v",
+					seed, u, i, total, limit)
+			}
+		}
+	}
+}
+
+// TestLemma4SeparatedSubsetInterference validates Lemma 4: with separation
+// constant s chosen for target c, the interference at u ∈ S_i from
+// S_i ∪ T_i \ {partner} — even if all of them transmit — is ≤ c·P/2^{iα}.
+func TestLemma4SeparatedSubsetInterference(t *testing.T) {
+	const alpha, power, c = 3.0, 1.0, 1.0
+	s := SeparationConstant(alpha, c)
+	for seed := uint64(1); seed <= 5; seed++ {
+		d, err := geom.UniformDisk(seed, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := activeAll(d.N())
+		lc := geom.ComputeLinkClasses(d.Points, active)
+		for i := 0; i <= lc.MaxClass(); i++ {
+			si := SeparatedGoodSubset(d.Points, active, lc, i, alpha, d.R, s)
+			if len(si) == 0 {
+				continue
+			}
+			ti := Partners(lc, si)
+			mask := MembershipMask(d.N(), si, ti)
+			for j, u := range si {
+				// Interference from S_i ∪ T_i \ {u, partner} only.
+				inside := 0.0
+				for w := range d.Points {
+					if w == u || w == ti[j] || !mask[w] {
+						continue
+					}
+					inside += power * math.Pow(d.Points[u].Dist2(d.Points[w]), -alpha/2)
+				}
+				limit := c * power * math.Pow(2, -float64(i)*alpha)
+				// The lemma's constant is loose only in our favour; allow a
+				// tiny float epsilon.
+				if inside > limit*(1+1e-9) {
+					t.Errorf("seed %d class %d node %d: inside interference %v > %v",
+						seed, i, u, inside, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestSeparatedGoodSubsetIsSeparatedAndGood(t *testing.T) {
+	d, err := geom.UniformDisk(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := activeAll(d.N())
+	lc := geom.ComputeLinkClasses(d.Points, active)
+	const alpha, s = 3.0, 4.0
+	for i := 0; i <= lc.MaxClass(); i++ {
+		si := SeparatedGoodSubset(d.Points, active, lc, i, alpha, d.R, s)
+		minSep := (s + 1) * math.Pow(2, float64(i))
+		if !geom.PairwiseSeparated(d.Points, si, minSep) {
+			t.Errorf("class %d: S_i not (s+1)2^i-separated", i)
+		}
+		for _, u := range si {
+			if lc.Class[u] != i {
+				t.Errorf("class %d: S_i contains node of class %d", i, lc.Class[u])
+			}
+			if !geom.IsGood(d.Points, active, u, i, alpha, geom.MaxAnnulusIndex(d.R, i)) {
+				t.Errorf("class %d: S_i contains non-good node %d", i, u)
+			}
+		}
+	}
+}
+
+func TestPartnersAreNearestActive(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 0}, {X: 12, Y: 0}}
+	active := activeAll(4)
+	lc := geom.ComputeLinkClasses(pts, active)
+	ti := Partners(lc, []int{0, 2})
+	if ti[0] != 1 || ti[1] != 3 {
+		t.Errorf("Partners = %v, want [1 3]", ti)
+	}
+}
+
+func TestBreakdownAtCategories(t *testing.T) {
+	// u at origin; partner at distance 1; one inside node at 2; one outside
+	// node at 4. α = 2, P = 16 for easy numbers.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}}
+	active := activeAll(4)
+	inSiTi := []bool{true, true, true, false}
+	b := BreakdownAt(pts, active, 0, 1, inSiTi, 16, 2)
+	if b.Partner != 16 {
+		t.Errorf("Partner = %v, want 16", b.Partner)
+	}
+	if b.Inside != 4 {
+		t.Errorf("Inside = %v, want 4", b.Inside)
+	}
+	if b.Outside != 1 {
+		t.Errorf("Outside = %v, want 1", b.Outside)
+	}
+	if b.Total() != 5 {
+		t.Errorf("Total = %v, want 5", b.Total())
+	}
+	// Inactive nodes contribute nothing.
+	active[2] = false
+	b = BreakdownAt(pts, active, 0, 1, inSiTi, 16, 2)
+	if b.Inside != 0 {
+		t.Errorf("Inside with inactive = %v, want 0", b.Inside)
+	}
+}
+
+// TestCorollary7KnockoutFraction validates the knock-out machinery
+// empirically: on the adversarial all-one-class deployment, a single round
+// of p-broadcast knocks out a constant fraction of the nodes on average.
+func TestCorollary7KnockoutFraction(t *testing.T) {
+	d, err := geom.CoLocatedPairs(100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+	ch, err := sinr.New(params, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 60
+	totalFraction := 0.0
+	rng := xrand.New(99)
+	tx := make([]bool, d.N())
+	recv := make([]int, d.N())
+	for trial := 0; trial < trials; trial++ {
+		for i := range tx {
+			tx[i] = rng.Float64() < DefaultP
+		}
+		ch.Deliver(tx, recv)
+		knocked := 0
+		for v := range recv {
+			if recv[v] >= 0 {
+				knocked++
+			}
+		}
+		totalFraction += float64(knocked) / float64(d.N())
+	}
+	mean := totalFraction / trials
+	if mean < 0.05 {
+		t.Errorf("mean knock-out fraction %v below a constant; Corollary 7 shape violated", mean)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/radio"
+	"fadingcr/internal/sim"
+)
+
+// stubBuilder builds nodes following a fixed per-round action script and
+// recording what they hear (for round-mapping assertions).
+type stubBuilder struct {
+	name  string
+	nodes []*stubNode
+}
+
+type stubNode struct {
+	txRounds map[int]bool
+	heard    []int // sub-protocol round numbers passed to Hear
+}
+
+func (s *stubNode) Act(round int) sim.Action {
+	if s.txRounds[round] {
+		return sim.Transmit
+	}
+	return sim.Listen
+}
+
+func (s *stubNode) Hear(round int, from int, detect sim.Feedback) {
+	s.heard = append(s.heard, round)
+}
+
+func (b *stubBuilder) Name() string { return b.name }
+
+func (b *stubBuilder) Build(n int, seed uint64) []sim.Node {
+	b.nodes = make([]*stubNode, n)
+	out := make([]sim.Node, n)
+	for i := range out {
+		b.nodes[i] = &stubNode{txRounds: map[int]bool{}}
+		out[i] = b.nodes[i]
+	}
+	return out
+}
+
+func TestInterleavedName(t *testing.T) {
+	il := Interleaved{A: FixedProbability{}, B: FixedProbability{P: 0.5}}
+	if got := il.Name(); !strings.Contains(got, "⊕") {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestInterleavedRoundMapping(t *testing.T) {
+	a := &stubBuilder{name: "a"}
+	b := &stubBuilder{name: "b"}
+	il := Interleaved{A: a, B: b}
+	nodes := il.Build(1, 7)
+	// A transmits in its rounds 1 and 3 (engine rounds 1 and 5); B in its
+	// round 2 (engine round 4).
+	a.nodes[0].txRounds[1] = true
+	a.nodes[0].txRounds[3] = true
+	b.nodes[0].txRounds[2] = true
+	wantTx := map[int]bool{1: true, 4: true, 5: true}
+	for round := 1; round <= 6; round++ {
+		got := nodes[0].Act(round) == sim.Transmit
+		if got != wantTx[round] {
+			t.Errorf("round %d: transmit = %v, want %v", round, got, wantTx[round])
+		}
+		nodes[0].Hear(round, -1, sim.Unknown)
+	}
+	// Hear must have been forwarded with sub-protocol numbering 1..3 each.
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if a.nodes[0].heard[i] != w {
+			t.Errorf("A heard %v, want %v", a.nodes[0].heard, want)
+			break
+		}
+		if b.nodes[0].heard[i] != w {
+			t.Errorf("B heard %v, want %v", b.nodes[0].heard, want)
+			break
+		}
+	}
+}
+
+func TestInterleavedBuildPanics(t *testing.T) {
+	for _, il := range []Interleaved{
+		{A: nil, B: FixedProbability{}},
+		{A: FixedProbability{}, B: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%+v did not panic", il)
+				}
+			}()
+			il.Build(2, 1)
+		}()
+	}
+}
+
+func TestInterleavedSolvesOnSINR(t *testing.T) {
+	// Fixed-probability interleaved with itself at another p: still solves,
+	// at most ~2× the rounds.
+	d, err := geom.UniformDisk(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := Interleaved{A: FixedProbability{}, B: FixedProbability{P: 0.1}}
+	res, err := sim.Run(sinrChannel(t, d), il, 9, sim.Config{MaxRounds: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("interleaved unsolved: %+v", res)
+	}
+}
+
+func TestInterleavedInheritsBetterBound(t *testing.T) {
+	// A stalls forever (always transmits); B is the working algorithm. The
+	// interleaving must still solve, within ~2× B's budget.
+	ch, err := radio.New(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := Interleaved{A: alwaysTx{}, B: FixedProbability{P: 0.5}}
+	res, err := sim.Run(ch, il, 3, sim.Config{MaxRounds: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("interleaved with a stalling partner unsolved: %+v", res)
+	}
+	// The winning round must be even: only B (even rounds) can produce a
+	// solo broadcast when A always transmits both nodes.
+	if res.Rounds%2 != 0 {
+		t.Errorf("solved in odd round %d, but A transmits both nodes every odd round", res.Rounds)
+	}
+}
+
+type alwaysTx struct{}
+
+func (alwaysTx) Name() string { return "always-tx" }
+func (alwaysTx) Build(n int, seed uint64) []sim.Node {
+	out := make([]sim.Node, n)
+	for i := range out {
+		out[i] = txAlwaysNode{}
+	}
+	return out
+}
+
+type txAlwaysNode struct{}
+
+func (txAlwaysNode) Act(int) sim.Action          { return sim.Transmit }
+func (txAlwaysNode) Hear(int, int, sim.Feedback) {}
+
+func TestInterleavedActive(t *testing.T) {
+	il := Interleaved{A: FixedProbability{}, B: alwaysTx{}}
+	nodes := il.Build(1, 1)
+	u := nodes[0].(*interleavedNode)
+	if !u.Active() {
+		t.Error("fresh interleaved node inactive")
+	}
+	// Knock out the fixed-probability half; the alwaysTx half has no
+	// Activeness and counts as active.
+	u.a.Hear(1, 0, sim.Unknown)
+	if !u.Active() {
+		t.Error("node with a non-Activeness sub-protocol should stay active")
+	}
+	il2 := Interleaved{A: FixedProbability{}, B: FixedProbability{}}
+	u2 := il2.Build(1, 1)[0].(*interleavedNode)
+	u2.a.Hear(1, 0, sim.Unknown)
+	u2.b.Hear(1, 0, sim.Unknown)
+	if u2.Active() {
+		t.Error("node with both halves knocked out should be inactive")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"fadingcr/internal/sim"
+)
+
+// WithKnockout grafts the paper's knock-out rule onto any protocol: a node
+// runs the inner protocol until it receives a message, then goes permanently
+// silent. The paper's algorithm is exactly WithKnockout applied to
+// "broadcast with constant probability p forever"; wrapping the *classical*
+// strategies isolates which ingredient buys the speed-up on a fading channel
+// — the answer (experiment E17) is the knock-out rule: even the Θ(log² n)
+// sweep collapses to near-Θ(log n) once knocked-out nodes leave the channel,
+// because spatial reuse lets captures deactivate nodes continuously.
+type WithKnockout struct {
+	// Inner is the wrapped protocol; must be non-nil.
+	Inner sim.Builder
+}
+
+var _ sim.Builder = WithKnockout{}
+
+// Name implements sim.Builder.
+func (w WithKnockout) Name() string {
+	return fmt.Sprintf("knockout(%s)", w.Inner.Name())
+}
+
+// Build implements sim.Builder. It panics on a nil inner builder.
+func (w WithKnockout) Build(n int, seed uint64) []sim.Node {
+	if w.Inner == nil {
+		panic("core: WithKnockout requires an inner builder")
+	}
+	inner := w.Inner.Build(n, seed)
+	if len(inner) != n {
+		panic(fmt.Sprintf("core: inner builder returned %d nodes for n=%d", len(inner), n))
+	}
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &knockoutNode{inner: inner[i], active: true}
+	}
+	return nodes
+}
+
+type knockoutNode struct {
+	inner  sim.Node
+	active bool
+}
+
+func (u *knockoutNode) Act(round int) sim.Action {
+	if !u.active {
+		return sim.Listen
+	}
+	return u.inner.Act(round)
+}
+
+func (u *knockoutNode) Hear(round int, from int, detect sim.Feedback) {
+	if from >= 0 {
+		u.active = false
+	}
+	u.inner.Hear(round, from, detect)
+}
+
+// Active implements Activeness.
+func (u *knockoutNode) Active() bool { return u.active }

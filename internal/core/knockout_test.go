@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fadingcr/internal/baselines"
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sim"
+)
+
+func TestWithKnockoutName(t *testing.T) {
+	w := WithKnockout{Inner: baselines.ProbabilitySweep{}}
+	if got := w.Name(); !strings.Contains(got, "knockout(") || !strings.Contains(got, "sweep") {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestWithKnockoutBuildPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil inner accepted")
+		}
+	}()
+	WithKnockout{}.Build(2, 1)
+}
+
+func TestWithKnockoutSilencesAfterReception(t *testing.T) {
+	nodes := WithKnockout{Inner: alwaysTx{}}.Build(1, 1)
+	u := nodes[0].(*knockoutNode)
+	if u.Act(1) != sim.Transmit {
+		t.Fatal("fresh node did not run the inner protocol")
+	}
+	u.Hear(1, -1, sim.Unknown)
+	if u.Act(2) != sim.Transmit || !u.Active() {
+		t.Fatal("empty reception silenced the node")
+	}
+	u.Hear(2, 5, sim.Unknown)
+	if u.Active() {
+		t.Fatal("reception did not deactivate the node")
+	}
+	for r := 3; r < 50; r++ {
+		if u.Act(r) != sim.Listen {
+			t.Fatal("knocked-out node transmitted")
+		}
+	}
+}
+
+func TestWithKnockoutEquivalentToFixedProbability(t *testing.T) {
+	// knockout(constant-p forever) is definitionally the paper's algorithm;
+	// both must solve comparably on the same deployment.
+	d, err := geom.UniformDisk(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sinrChannel(t, d), WithKnockout{Inner: constantP{}}, 3, sim.Config{MaxRounds: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("knockout(constant-p) unsolved: %+v", res)
+	}
+}
+
+// constantP broadcasts with DefaultP forever (no knock-out of its own).
+type constantP struct{}
+
+func (constantP) Name() string { return "constant-p" }
+func (constantP) Build(n int, seed uint64) []sim.Node {
+	inner := FixedProbability{}.Build(n, seed)
+	// Strip the built-in knock-out by resurrecting nodes each round: wrap
+	// with a shim that ignores Hear.
+	out := make([]sim.Node, n)
+	for i := range out {
+		out[i] = deafShim{inner[i]}
+	}
+	return out
+}
+
+// deafShim forwards actions but drops receptions, turning the paper's
+// algorithm back into memoryless constant-p broadcasting.
+type deafShim struct{ inner sim.Node }
+
+func (s deafShim) Act(round int) sim.Action    { return s.inner.Act(round) }
+func (s deafShim) Hear(int, int, sim.Feedback) {}
+
+func TestWithKnockoutAcceleratesSweepOnSINR(t *testing.T) {
+	// The headline of E17 in miniature: on the fading channel, the sweep
+	// with knock-out beats the plain sweep at n = 256.
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	median := func(b sim.Builder) float64 {
+		var rounds []int
+		for trial := 0; trial < 11; trial++ {
+			d, err := geom.UniformDisk(uint64(300+trial), 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sinrChannel(t, d), b, uint64(trial), sim.Config{MaxRounds: 100000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Solved {
+				t.Fatalf("%s unsolved", b.Name())
+			}
+			rounds = append(rounds, res.Rounds)
+		}
+		for i := 1; i < len(rounds); i++ {
+			for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+				rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+			}
+		}
+		return float64(rounds[len(rounds)/2])
+	}
+	plain := median(baselines.ProbabilitySweep{})
+	knocked := median(WithKnockout{Inner: baselines.ProbabilitySweep{}})
+	if knocked >= plain {
+		t.Errorf("knockout(sweep) median %v not below plain sweep %v", knocked, plain)
+	}
+}

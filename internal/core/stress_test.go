@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
+)
+
+// Stress and failure-injection tests: the algorithm must keep solving under
+// every deliberately hostile configuration of DESIGN.md §9 — adversarial
+// placements, physical constants at the edge of the model, and degenerate
+// channel regimes.
+
+func stressChannel(t *testing.T, d *geom.Deployment, params sinr.Params, margin float64) *sinr.Channel {
+	t.Helper()
+	if params.Power == 0 {
+		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, margin)
+	}
+	ch, err := sinr.New(params, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func mustSolve(t *testing.T, ch sim.Channel, seed uint64, budget int, label string) sim.Result {
+	t.Helper()
+	res, err := sim.Run(ch, FixedProbability{}, seed, sim.Config{MaxRounds: budget})
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !res.Solved {
+		t.Fatalf("%s: unsolved after %d rounds", label, res.Rounds)
+	}
+	return res
+}
+
+func TestStressAlphaBarelyAboveTwo(t *testing.T) {
+	// ε = α/2 − 1 = 0.025: the analysis's slack nearly vanishes. The
+	// algorithm slows but must still finish.
+	d, err := geom.UniformDisk(2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 2.05, Beta: 1.5, Noise: 1}
+	ch := stressChannel(t, d, params, sinr.DefaultSingleHopMargin)
+	mustSolve(t, ch, 5, 20000, "alpha=2.05")
+}
+
+func TestStressBetaBelowOne(t *testing.T) {
+	// β < 1 allows several transmitters to clear the threshold at one
+	// listener (the channel delivers the strongest). The knock-out cascade
+	// only accelerates.
+	d, err := geom.UniformDisk(3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 3, Beta: 0.5, Noise: 1}
+	ch := stressChannel(t, d, params, sinr.DefaultSingleHopMargin)
+	mustSolve(t, ch, 7, 4000, "beta=0.5")
+}
+
+func TestStressZeroNoise(t *testing.T) {
+	// N = 0: reception is limited purely by interference; any solo
+	// transmission reaches everyone at any power.
+	d, err := geom.UniformDisk(4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 0, Power: 1}
+	ch := stressChannel(t, d, params, sinr.DefaultSingleHopMargin)
+	mustSolve(t, ch, 9, 4000, "noise=0")
+}
+
+func TestStressPowerMarginNearThreshold(t *testing.T) {
+	// The model demands margin c ≥ 4; probe c = 1.5, where solo broadcasts
+	// still clear β but barely. Knock-outs get rarer, the run longer.
+	d, err := geom.UniformDisk(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	ch := stressChannel(t, d, params, 1.5)
+	mustSolve(t, ch, 11, 20000, "margin=1.5")
+}
+
+func TestStressCoLocatedPairs(t *testing.T) {
+	// Every node in link class d_0: maximum same-class contention.
+	d, err := geom.CoLocatedPairs(200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := stressChannel(t, d, sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}, sinr.DefaultSingleHopMargin)
+	mustSolve(t, ch, 13, 4000, "co-located pairs")
+}
+
+func TestStressMaxRChain(t *testing.T) {
+	// 24 link classes: R ≈ 2^28 — the budget must absorb the log R term.
+	d, err := geom.ExponentialChain(6, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := stressChannel(t, d, sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}, sinr.DefaultSingleHopMargin)
+	mustSolve(t, ch, 15, 8000, "24-class chain")
+}
+
+func TestStressPerturbedGridAndClusters(t *testing.T) {
+	grid, err := geom.PerturbedGrid(7, 225, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSolve(t, stressChannel(t, grid, sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}, 4), 17, 4000, "grid")
+
+	clusters, err := geom.Clusters(8, 150, 10, 1.5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSolve(t, stressChannel(t, clusters, sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}, 4), 19, 4000, "clusters")
+}
+
+func TestStressHighAlphaExtreme(t *testing.T) {
+	// α = 8: signals die almost immediately with distance; spatial reuse is
+	// maximal, and the power needed for single-hop is astronomically large —
+	// the arithmetic must stay finite.
+	d, err := geom.UniformDisk(9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := stressChannel(t, d, sinr.Params{Alpha: 8, Beta: 1.5, Noise: 1}, 4)
+	mustSolve(t, ch, 21, 4000, "alpha=8")
+}
+
+func TestStressManyNodesSingleRoundBehaviour(t *testing.T) {
+	// n = 2000 on one channel: a single round must knock out a large
+	// fraction (the cascade's first step at scale).
+	d, err := geom.UniformDisk(10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := stressChannel(t, d, sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}, 4)
+	an := &Analyzer{Points: d.Points, Alpha: 3, R: d.R}
+	res, err := sim.Run(ch, FixedProbability{}, 23, sim.Config{MaxRounds: 2, Tracer: an})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	first := an.Snapshots[0]
+	if first.Knockouts < 200 {
+		t.Errorf("first round knocked out only %d of 2000 nodes", first.Knockouts)
+	}
+}

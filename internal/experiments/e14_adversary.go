@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fadingcr/internal/baselines"
+	"fadingcr/internal/core"
+	"fadingcr/internal/hitting"
+	"fadingcr/internal/stats"
+	"fadingcr/internal/table"
+	"fadingcr/internal/xrand"
+)
+
+// e14 — the lower bound against the *adversarial* referee: Lemma 13 bounds
+// players against a worst-case target, not an average one. Every player here
+// is oblivious (the game's only feedback is content-free), so the optimal
+// adversary is computable exactly: the target pair surviving the longest
+// prefix of the player's proposal sequence.
+func e14() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Adversarial hitting-game values (worst-case referee)",
+		Claim: "Against the optimal (worst-case) target choice, every oblivious player — including those derived from CR algorithms via Lemma 14 — needs Θ(log k) rounds.",
+		Run: func(cfg Config) ([]*table.Table, error) {
+			ks := []int{8, 16, 32, 64, 128, 256}
+			if cfg.Quick {
+				ks = []int{8, 32}
+			}
+			trials := cfg.trials(20, 5)
+
+			players := []struct {
+				label string
+				make  func(k int, seed uint64) (hitting.Player, error)
+			}{
+				{"half-density (optimal)", func(k int, seed uint64) (hitting.Player, error) {
+					return hitting.NewFixedDensityPlayer(k, 0.5, seed)
+				}},
+				{"fixed-probability CR", func(k int, seed uint64) (hitting.Player, error) {
+					return hitting.NewSimulationPlayer(core.FixedProbability{}, k, seed)
+				}},
+				{"probability-sweep CR", func(k int, seed uint64) (hitting.Player, error) {
+					return hitting.NewSimulationPlayer(baselines.ProbabilitySweep{}, k, seed)
+				}},
+			}
+
+			result := table.New("E14 — mean adversarial value (rounds the worst-case target survives)",
+				append([]string{"player"}, kCols(ks)...)...)
+			fits := table.New("E14 — linear fits of the adversarial value vs log₂(k)", "player", "fit")
+			for _, pl := range players {
+				row := []string{pl.label}
+				var values, logs []float64
+				for _, k := range ks {
+					total := 0.0
+					for trial := 0; trial < trials; trial++ {
+						p, err := pl.make(k, xrand.Split(cfg.Seed, uint64(trial)))
+						if err != nil {
+							return nil, err
+						}
+						wc, err := hitting.ObliviousWorstCase(p, k, 5000)
+						if err != nil {
+							return nil, fmt.Errorf("E14 %s k=%d: %w", pl.label, k, err)
+						}
+						if wc.Survived {
+							return nil, fmt.Errorf("E14 %s k=%d trial %d: target survived the budget", pl.label, k, trial)
+						}
+						total += float64(wc.Rounds)
+					}
+					mean := total / float64(trials)
+					values = append(values, mean)
+					logs = append(logs, math.Log2(float64(k)))
+					row = append(row, table.Float(mean, 1))
+				}
+				result.AddRow(row...)
+				fit, err := stats.LinearFit(logs, values)
+				if err != nil {
+					return nil, err
+				}
+				fits.AddRow(pl.label, fit.String())
+			}
+			return []*table.Table{result, fits}, nil
+		},
+	}
+}

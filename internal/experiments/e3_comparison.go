@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fadingcr/internal/baselines"
+	"fadingcr/internal/core"
+	"fadingcr/internal/geom"
+	"fadingcr/internal/radio"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/stats"
+	"fadingcr/internal/table"
+)
+
+// comparisonEntry pairs a builder with the channel regime it runs on.
+type comparisonEntry struct {
+	label   string
+	builder func(n int) sim.Builder
+	// channel: "sinr", "radio", or "radio+cd". The oblivious baselines'
+	// solve time (first round with exactly one transmitter) is
+	// channel-independent, so running them on the radio channel is without
+	// loss of generality.
+	channel string
+	// budget is the per-run round cap as a function of n.
+	budget func(n int) int
+}
+
+// e3 — Table 1: the headline comparison of every algorithm on its native
+// channel.
+func e3() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "All algorithms head-to-head (fading log n vs radio log² n)",
+		Claim: "The fading channel admits O(log n + log R) contention resolution; radio-model strategies need Θ(log² n) (Θ(log n) with collision detection).",
+		Run: func(cfg Config) ([]*table.Table, error) {
+			ns := []int{16, 64, 256, 1024}
+			if cfg.Quick {
+				ns = []int{16, 64}
+			}
+			trials := cfg.trials(30, 8)
+
+			quad := func(n int) int {
+				l := int(math.Ceil(math.Log2(float64(n)))) + 1
+				return 200 + 40*l*l
+			}
+			entries := []comparisonEntry{
+				{"fixed-probability (paper) / SINR", func(int) sim.Builder { return core.FixedProbability{} }, "sinr", e1Budget},
+				{"probability-sweep / radio", func(int) sim.Builder { return baselines.ProbabilitySweep{} }, "radio", quad},
+				{"decay(N=n) / radio", func(n int) sim.Builder { return baselines.Decay{N: n} }, "radio", quad},
+				{"dampened-sweep(N=n) / radio", func(n int) sim.Builder { return baselines.DampenedSweep{N: maxInt(4, n)} }, "radio", quad},
+				{"backoff / radio", func(int) sim.Builder { return baselines.BinaryExponentialBackoff{} }, "radio", func(n int) int { return 64 * quad(n) }},
+				{"cd-halving / radio+CD", func(int) sim.Builder { return baselines.CollisionDetectHalving{} }, "radio+cd", e1Budget},
+			}
+
+			results := table.New("E3 — median rounds to solve (per algorithm and n)",
+				append([]string{"algorithm / channel"}, nCols(ns)...)...)
+			for _, entry := range entries {
+				row := []string{entry.label}
+				for _, n := range ns {
+					med, unsolved, err := comparisonMedian(cfg, trials, n, entry)
+					if err != nil {
+						return nil, fmt.Errorf("E3 %s n=%d: %w", entry.label, n, err)
+					}
+					cell := table.Float(med, 0)
+					if unsolved > 0 {
+						cell = fmt.Sprintf("≥%s (%d/%d unsolved)", cell, unsolved, trials)
+					}
+					row = append(row, cell)
+				}
+				results.AddRow(row...)
+			}
+			return []*table.Table{results}, nil
+		},
+	}
+}
+
+func nCols(ns []int) []string {
+	cols := make([]string, len(ns))
+	for i, n := range ns {
+		cols[i] = fmt.Sprintf("n=%d", n)
+	}
+	return cols
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// comparisonMedian runs one (algorithm, n) cell of the comparison.
+func comparisonMedian(cfg Config, trials, n int, entry comparisonEntry) (float64, int, error) {
+	builder := entry.builder(n)
+	simCfg := sim.Config{MaxRounds: entry.budget(n)}
+	var (
+		rounds   []float64
+		unsolved int
+		err      error
+	)
+	switch entry.channel {
+	case "sinr":
+		rounds, unsolved, err = sinrTrialRounds(cfg, trials, n, builder, simCfg.MaxRounds)
+	case "radio", "radio+cd":
+		simCfg.CollisionDetection = entry.channel == "radio+cd"
+		rounds, unsolved, err = trialRounds(cfg, trials,
+			func(seed uint64) (*geom.Deployment, error) { return geom.TwoNode(), nil }, // unused positions
+			func(*geom.Deployment) (sim.Channel, error) { return radio.New(n, simCfg.CollisionDetection) },
+			builder, simCfg)
+	default:
+		return 0, 0, fmt.Errorf("unknown channel regime %q", entry.channel)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.Median(rounds), unsolved, nil
+}

@@ -1,0 +1,140 @@
+// Package experiments is the reproduction harness: one registered
+// experiment per table/figure of the experiment index in DESIGN.md §6. Each
+// experiment validates one quantitative claim of the paper (the paper itself
+// is a theory paper with no empirical section, so the targets are its
+// theorems and lemmas) and renders its results as tables.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
+	"fadingcr/internal/table"
+	"fadingcr/internal/xrand"
+)
+
+// Config controls the scale of an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce results exactly.
+	Seed uint64
+	// Trials is the number of trials per data point; 0 selects the
+	// experiment's default.
+	Trials int
+	// Quick shrinks sweeps for fast smoke runs (tests, CI).
+	Quick bool
+}
+
+func (c Config) trials(def, quickDef int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+// Experiment is a registered reproduction target.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md §6, e.g. "E1".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim is the paper statement the experiment validates.
+	Claim string
+	// Run executes the experiment and returns its result tables.
+	Run func(cfg Config) ([]*table.Table, error)
+}
+
+// All returns every registered experiment, ordered by ID.
+func All() []Experiment {
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(),
+		e12(), e13(), e14(), e15(), e16(), e17(), e18(),
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// E1 < E2 < … < E10 < E11: compare numerically.
+		return expNum(exps[i].ID) < expNum(exps[j].ID)
+	})
+	return exps
+}
+
+func expNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// DefaultParams returns the repository-standard physical-layer constants:
+// α = 3 (super-quadratic fading per the model's α > 2), β = 1.5, N = 1, with
+// power derived per deployment by channelFor.
+func DefaultParams() sinr.Params {
+	return sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+}
+
+// channelFor builds a single-hop SINR channel over the deployment with the
+// given parameters, deriving the minimum feasible power when p.Power is 0.
+func channelFor(p sinr.Params, d *geom.Deployment) (*sinr.Channel, error) {
+	if p.Power == 0 {
+		p.Power = sinr.MinSingleHopPower(p.Alpha, p.Beta, p.Noise, d.R, sinr.DefaultSingleHopMargin)
+	}
+	return sinr.New(p, d.Points)
+}
+
+// trialRounds runs `trials` independent executions, each on a fresh
+// deployment from deploy and a fresh protocol seed, and returns the solving
+// round of each (or the budget for unsolved runs, counted in unsolved).
+func trialRounds(
+	cfg Config,
+	trials int,
+	deploy func(seed uint64) (*geom.Deployment, error),
+	channel func(d *geom.Deployment) (sim.Channel, error),
+	builder sim.Builder,
+	simCfg sim.Config,
+) (rounds []float64, unsolved int, err error) {
+	rounds = make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		dseed := xrand.Split(cfg.Seed, uint64(trial)*2)
+		pseed := xrand.Split(cfg.Seed, uint64(trial)*2+1)
+		d, err := deploy(dseed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trial %d deployment: %w", trial, err)
+		}
+		ch, err := channel(d)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trial %d channel: %w", trial, err)
+		}
+		res, err := sim.Run(ch, builder, pseed, simCfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trial %d run: %w", trial, err)
+		}
+		if !res.Solved {
+			unsolved++
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	return rounds, unsolved, nil
+}
+
+// sinrTrialRounds is trialRounds specialised to the default SINR channel.
+func sinrTrialRounds(cfg Config, trials int, n int, builder sim.Builder, maxRounds int) ([]float64, int, error) {
+	return trialRounds(cfg, trials,
+		func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
+		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+		builder,
+		sim.Config{MaxRounds: maxRounds},
+	)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	exps := All()
+	if len(exps) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(exps))
+	}
+	for i, e := range exps {
+		if want := i + 1; expNum(e.ID) != want {
+			t.Errorf("position %d has ID %s, want E%d", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e, ok := ByID("E3"); !ok || e.ID != "E3" {
+		t.Errorf("ByID(E3) = %+v, %v", e, ok)
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	if got := (Config{}).trials(40, 8); got != 40 {
+		t.Errorf("default trials = %d, want 40", got)
+	}
+	if got := (Config{Quick: true}).trials(40, 8); got != 8 {
+		t.Errorf("quick trials = %d, want 8", got)
+	}
+	if got := (Config{Trials: 3, Quick: true}).trials(40, 8); got != 3 {
+		t.Errorf("explicit trials = %d, want 3", got)
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// checks basic table well-formedness. This is the harness's integration
+// test; it is the slowest test in the repository.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tab.Title)
+				}
+				if len(tab.Columns) == 0 {
+					t.Errorf("%s: table %q has no columns", e.ID, tab.Title)
+				}
+				if !strings.Contains(tab.Title, e.ID) {
+					t.Errorf("%s: table title %q does not carry the experiment id", e.ID, tab.Title)
+				}
+			}
+		})
+	}
+}
+
+// TestExperimentDeterminism: the same seed must reproduce identical tables.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	e, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	render := func() string {
+		tables, err := e.Run(Config{Seed: 42, Quick: true, Trials: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tab := range tables {
+			b.WriteString(tab.Text())
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Error("E1 not deterministic for a fixed seed")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	p.Power = 1
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	if p.Alpha <= 2 {
+		t.Errorf("alpha = %v violates the model's α > 2", p.Alpha)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/core"
+	"fadingcr/internal/sim"
+)
+
+func TestE1Budget(t *testing.T) {
+	if got := e1Budget(16); got != 400+100*4 {
+		t.Errorf("e1Budget(16) = %d, want 800", got)
+	}
+	if got := e1Budget(1024); got != 400+100*10 {
+		t.Errorf("e1Budget(1024) = %d, want 1400", got)
+	}
+	// Generous: always far above the observed medians (≈ 2·log₂ n).
+	for _, n := range []int{16, 256, 4096} {
+		if float64(e1Budget(n)) < 20*math.Log2(float64(n)) {
+			t.Errorf("budget for n=%d too tight", n)
+		}
+	}
+}
+
+func TestIlog2(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ilog2(n); got != want {
+			t.Errorf("ilog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	if got := nCols([]int{4, 8}); got[0] != "n=4" || got[1] != "n=8" {
+		t.Errorf("nCols = %v", got)
+	}
+	if got := kCols([]int{16}); got[0] != "k=16" {
+		t.Errorf("kCols = %v", got)
+	}
+	if got := cCols([]int{2, 4}); got[0] != "C=2" || got[1] != "C=4" {
+		t.Errorf("cCols = %v", got)
+	}
+}
+
+func TestWhpQuantile(t *testing.T) {
+	rounds := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// k = 2 → quantile 0.5 → 5.5 with interpolation.
+	if got := whpQuantile(rounds, 2); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("whpQuantile(k=2) = %v, want 5.5", got)
+	}
+	// Huge k → (essentially) the maximum, up to interpolation epsilon.
+	if got := whpQuantile(rounds, 1<<30); got < 10-1e-6 {
+		t.Errorf("whpQuantile(k=2^30) = %v, want ≈ 10", got)
+	}
+}
+
+func TestComparisonMedianUnknownChannel(t *testing.T) {
+	entry := comparisonEntry{
+		label:   "broken",
+		builder: func(int) sim.Builder { return core.FixedProbability{} },
+		channel: "carrier-pigeon",
+		budget:  func(int) int { return 10 },
+	}
+	if _, _, err := comparisonMedian(Config{Seed: 1}, 2, 4, entry); err == nil {
+		t.Error("unknown channel regime accepted")
+	}
+}
+
+func TestFitEnvelopeSegment(t *testing.T) {
+	// A suffix-max history that exactly follows q with 1 round per step
+	// (n = 8, one class, γ_slow = 0.8 default): q = 8, 6.4, 5.1, … — sizes
+	// 8, 6, 5 fit at L = 1.
+	suffix := [][]int{{8}, {6}, {5}}
+	if got := fitEnvelopeSegment(suffix, 3); got != 1 {
+		t.Errorf("fast decay: L = %d, want 1", got)
+	}
+	// A stubborn history that never decays needs the maximal L: sizes stay
+	// at the initial value while q falls below it at step 1.
+	stubborn := [][]int{{8}, {8}, {8}, {8}}
+	if got := fitEnvelopeSegment(stubborn, 4); got <= 1 {
+		t.Errorf("stubborn history: L = %d, want > 1", got)
+	}
+	if got := fitEnvelopeSegment(nil, 0); got != 1 {
+		t.Errorf("empty history: L = %d, want 1", got)
+	}
+}
+
+func TestExperimentClaimsMentionTheRightConcepts(t *testing.T) {
+	// Light-weight registry hygiene: each experiment's claim names the
+	// concept it validates.
+	keywords := map[string][]string{
+		"E1":  {"log n"},
+		"E2":  {"log R"},
+		"E3":  {"radio"},
+		"E4":  {"q_t"},
+		"E5":  {"good"},
+		"E6":  {"hitting"},
+		"E7":  {"1/n"},
+		"E8":  {"collision"},
+		"E9":  {"α"},
+		"E10": {"spatial reuse"},
+		"E11": {"two-player"},
+		"E12": {"Rayleigh"},
+		"E13": {"Interleaving"},
+		"E14": {"worst-case"},
+		"E15": {"two-player"},
+		"E16": {"transmissions"},
+		"E17": {"knock-out"},
+		"E18": {"capacity"},
+	}
+	for id, words := range keywords {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("%s missing", id)
+			continue
+		}
+		for _, w := range words {
+			if !strings.Contains(strings.ToLower(e.Claim), strings.ToLower(w)) {
+				t.Errorf("%s claim %q does not mention %q", id, e.Claim, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Native Go fuzz targets for the numeric kernels. `go test` runs the seed
+// corpus as regular tests; `go test -fuzz FuzzLinkClassOf ./internal/geom`
+// explores further.
+
+func FuzzLinkClassOf(f *testing.F) {
+	for _, seed := range []float64{0, 0.5, 1, 1.999, 2, 3.9999999999999996, 1e6, 1e300} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, d float64) {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			t.Skip()
+		}
+		c := LinkClassOf(d)
+		if c < 0 {
+			t.Fatalf("LinkClassOf(%v) = %d < 0", d, c)
+		}
+		// Consistency: the class's nominal interval contains d up to the
+		// documented round-off tolerance.
+		lo := math.Pow(2, float64(c))
+		hi := math.Pow(2, float64(c+1))
+		if d > 0 && (d < lo*(1-1e-12) || d >= hi*(1+1e-12)) && d >= 1 {
+			t.Fatalf("LinkClassOf(%v) = %d but [2^%d, 2^%d) = [%v, %v)", d, c, c, c+1, lo, hi)
+		}
+	})
+}
+
+func FuzzGoodBound(f *testing.F) {
+	f.Add(3.0, 0)
+	f.Add(2.1, 5)
+	f.Add(6.0, 20)
+	f.Fuzz(func(t *testing.T, alpha float64, tt int) {
+		if math.IsNaN(alpha) || alpha <= 2 || alpha > 64 || tt < 0 || tt > 64 {
+			t.Skip()
+		}
+		b := GoodBound(alpha, tt)
+		if b < 96 {
+			t.Fatalf("GoodBound(%v, %d) = %v < 96", alpha, tt, b)
+		}
+		if tt > 0 && GoodBound(alpha, tt) <= GoodBound(alpha, tt-1) {
+			t.Fatalf("GoodBound not increasing in t at (%v, %d)", alpha, tt)
+		}
+	})
+}
+
+func FuzzSubsetIndices(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint8) {
+		n := 2 + int(nRaw%40)
+		m := int(mRaw) % (n + 2) // deliberately allows invalid m > n
+		idx, err := RandomSubset(seed, n, m)
+		if m > n {
+			if err == nil {
+				t.Fatalf("RandomSubset(%d, %d) accepted m > n", n, m)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != m {
+			t.Fatalf("len = %d, want %d", len(idx), m)
+		}
+	})
+}

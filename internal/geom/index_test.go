@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fadingcr/internal/xrand"
+)
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil, 2); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := NewIndex([]Point{{X: 0, Y: 0}}, 0); err == nil {
+		t.Error("zero cell accepted")
+	}
+	if _, err := NewIndex([]Point{{X: 0, Y: 0}}, -1); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if _, err := NewIndex([]Point{{X: 0, Y: 0}}, math.Inf(1)); err == nil {
+		t.Error("infinite cell accepted")
+	}
+}
+
+func TestIndexNearestSimple(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 10, Y: 0}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := []bool{true, true, true}
+	v, d := ix.Nearest(0, active)
+	if v != 1 || d != 3 {
+		t.Errorf("Nearest(0) = (%d, %v), want (1, 3)", v, d)
+	}
+	// Deactivate node 1: nearest becomes node 2 at distance 10.
+	active[1] = false
+	v, d = ix.Nearest(0, active)
+	if v != 2 || d != 10 {
+		t.Errorf("Nearest(0) with 1 inactive = (%d, %v), want (2, 10)", v, d)
+	}
+	// No other active node.
+	active[2] = false
+	v, d = ix.Nearest(0, active)
+	if v != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest(0) alone = (%d, %v), want (-1, +Inf)", v, d)
+	}
+}
+
+// TestIndexNearestMatchesBruteForceProperty: the grid index returns exactly
+// the brute-force nearest active neighbour on random deployments and masks.
+func TestIndexNearestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, cellRaw uint8, maskSeed uint64) bool {
+		n := 2 + int(nRaw%60)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		cell := 0.5 + float64(cellRaw%8)
+		ix, err := NewIndex(d.Points, cell)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(maskSeed)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = rng.Float64() < 0.8
+		}
+		for u := 0; u < n; u++ {
+			gotV, gotD := ix.Nearest(u, active)
+			wantV, wantD := bruteNearestActive(d.Points, active, u)
+			if wantV < 0 {
+				if gotV != -1 || !math.IsInf(gotD, 1) {
+					return false
+				}
+				continue
+			}
+			// Distances must agree exactly; ties may pick different nodes.
+			if math.Abs(gotD-wantD) > 1e-12 || gotV < 0 || !active[gotV] || gotV == u {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteNearestActive(pts []Point, active []bool, u int) (int, float64) {
+	best, bestV := math.Inf(1), -1
+	for v := range pts {
+		if v == u || !active[v] {
+			continue
+		}
+		if d2 := pts[u].Dist2(pts[v]); d2 < best {
+			best, bestV = d2, v
+		}
+	}
+	if bestV < 0 {
+		return -1, math.Inf(1)
+	}
+	return bestV, math.Sqrt(best)
+}
+
+// TestComputeLinkClassesIndexedMatches: indexed and brute-force link classes
+// agree on class assignment and sizes (nearest node may differ on exact
+// ties, but the class is distance-derived and must match).
+func TestComputeLinkClassesIndexedMatches(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, maskSeed uint64) bool {
+		n := 2 + int(nRaw%50)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		ix, err := NewIndex(d.Points, 2)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(maskSeed)
+		active := make([]bool, n)
+		for i := range active {
+			active[i] = rng.Float64() < 0.7
+		}
+		a := ComputeLinkClasses(d.Points, active)
+		b := ComputeLinkClassesIndexed(d.Points, active, ix)
+		for u := 0; u < n; u++ {
+			if a.Class[u] != b.Class[u] {
+				return false
+			}
+			if math.Abs(a.NearestDist[u]-b.NearestDist[u]) > 1e-12 &&
+				!(math.IsInf(a.NearestDist[u], 1) && math.IsInf(b.NearestDist[u], 1)) {
+				return false
+			}
+		}
+		if len(a.Sizes) != len(b.Sizes) {
+			return false
+		}
+		for i := range a.Sizes {
+			if a.Sizes[i] != b.Sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeLinkClassesIndexedChain(t *testing.T) {
+	d, err := ExponentialChain(4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(d.Points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := allActive(d.N())
+	lc := ComputeLinkClassesIndexed(d.Points, active, ix)
+	for i := 0; i < 5; i++ {
+		if lc.Sizes[i] != 4 {
+			t.Errorf("class %d size = %d, want 4 (sizes %v)", i, lc.Sizes[i], lc.Sizes)
+		}
+	}
+}
+
+func TestComputeLinkClassesIndexedSingleActive(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := ComputeLinkClassesIndexed(pts, []bool{true, false}, ix)
+	if lc.Class[0] != -1 || len(lc.Sizes) != 0 {
+		t.Errorf("sole active: class=%d sizes=%v", lc.Class[0], lc.Sizes)
+	}
+}

@@ -1,0 +1,59 @@
+package geom
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadPoints parses node positions from CSV: one "x,y" record per line, with
+// an optional "x,y" header. It is the entry point for simulating user-
+// supplied deployments (crsim -deploy-file).
+func ReadPoints(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	var pts []Point
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("geom: read points: %w", err)
+		}
+		line++
+		x, errX := strconv.ParseFloat(rec[0], 64)
+		y, errY := strconv.ParseFloat(rec[1], 64)
+		if errX != nil || errY != nil {
+			if line == 1 {
+				continue // tolerate a header row
+			}
+			return nil, fmt.Errorf("geom: record %d: cannot parse %q as coordinates", line, rec)
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return pts, nil
+}
+
+// WritePoints writes node positions as CSV with an "x,y" header, the inverse
+// of ReadPoints.
+func WritePoints(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y"}); err != nil {
+		return fmt.Errorf("geom: write points: %w", err)
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("geom: write points: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPointsBasic(t *testing.T) {
+	pts, err := ReadPoints(strings.NewReader("x,y\n0,0\n1.5,-2\n3e2,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{{X: 0, Y: 0}, {X: 1.5, Y: -2}, {X: 300, Y: 4}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestReadPointsWithoutHeader(t *testing.T) {
+	pts, err := ReadPoints(strings.NewReader("1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0] != (Point{X: 1, Y: 2}) {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	if _, err := ReadPoints(strings.NewReader("x,y\n1,2\nnope,4\n")); err == nil {
+		t.Error("bad coordinate in body accepted")
+	}
+	if _, err := ReadPoints(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("3-field record accepted")
+	}
+	pts, err := ReadPoints(strings.NewReader(""))
+	if err != nil || len(pts) != 0 {
+		t.Errorf("empty input: %v, %v", pts, err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, err := UniformDisk(4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WritePoints(&b, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(d.Points) {
+		t.Fatalf("round trip: %d points, want %d", len(got), len(d.Points))
+	}
+	for i := range got {
+		if got[i] != d.Points[i] {
+			t.Errorf("point %d = %v, want %v (exact round trip expected with 'g -1')", i, got[i], d.Points[i])
+		}
+	}
+}

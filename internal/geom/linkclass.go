@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+)
+
+// LinkClassOf returns the link class index for a nearest-active-neighbour
+// distance d ≥ 1: the i with d ∈ [2^i, 2^{i+1}). A relative tolerance of a
+// few ulps absorbs floating-point round-off (e.g. a geometric distance of
+// 3.9999999999999996 classifies as class 2, not 1); distances marginally
+// below 1 likewise clamp to class 0.
+func LinkClassOf(d float64) int {
+	const tol = 1 + 4e-15
+	d *= tol
+	if d < 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(d)))
+}
+
+// LinkClasses describes the partition of the currently active nodes into the
+// paper's link classes d_0, d_1, …: node u belongs to d_i iff its nearest
+// active neighbour lies at distance in [2^i, 2^{i+1}).
+type LinkClasses struct {
+	// Class[u] is the link class of active node u, or -1 if u is inactive or
+	// is the only active node (the last node has no nearest active
+	// neighbour and belongs to no class, per Section 3.1).
+	Class []int
+	// Nearest[u] is the index of u's nearest active neighbour (its
+	// "partner" candidate), or -1 when undefined.
+	Nearest []int
+	// NearestDist[u] is the distance to Nearest[u], or +Inf when undefined.
+	NearestDist []float64
+	// Sizes[i] is n_i, the number of active nodes in class d_i. The slice is
+	// truncated to the largest non-empty class.
+	Sizes []int
+}
+
+// MaxClass returns the largest non-empty class index, or -1 if no active
+// node belongs to any class.
+func (lc *LinkClasses) MaxClass() int { return len(lc.Sizes) - 1 }
+
+// SizeBelow returns n_{<i}: the total number of active nodes in classes
+// strictly smaller than i.
+func (lc *LinkClasses) SizeBelow(i int) int {
+	total := 0
+	for j := 0; j < i && j < len(lc.Sizes); j++ {
+		total += lc.Sizes[j]
+	}
+	return total
+}
+
+// ComputeLinkClasses partitions the active nodes of a deployment into link
+// classes. active[u] reports whether node u is still active. The computation
+// is O(k²) in the number k of active nodes; callers that trace every round
+// should expect cost proportional to the (geometrically shrinking) active
+// set.
+func ComputeLinkClasses(pts []Point, active []bool) *LinkClasses {
+	n := len(pts)
+	lc := &LinkClasses{
+		Class:       make([]int, n),
+		Nearest:     make([]int, n),
+		NearestDist: make([]float64, n),
+	}
+	idx := make([]int, 0, n)
+	for u := range pts {
+		lc.Class[u] = -1
+		lc.Nearest[u] = -1
+		lc.NearestDist[u] = math.Inf(1)
+		if active[u] {
+			idx = append(idx, u)
+		}
+	}
+	if len(idx) < 2 {
+		return lc
+	}
+	maxClass := -1
+	for _, u := range idx {
+		best := math.Inf(1)
+		bestV := -1
+		for _, v := range idx {
+			if v == u {
+				continue
+			}
+			if d2 := pts[u].Dist2(pts[v]); d2 < best {
+				best, bestV = d2, v
+			}
+		}
+		d := math.Sqrt(best)
+		c := LinkClassOf(d)
+		lc.Class[u] = c
+		lc.Nearest[u] = bestV
+		lc.NearestDist[u] = d
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	lc.Sizes = make([]int, maxClass+1)
+	for _, u := range idx {
+		lc.Sizes[lc.Class[u]]++
+	}
+	return lc
+}
+
+// AnnulusCount returns |A_t^i(u)|: the number of active nodes at distance in
+// (2^t·2^i, 2^{t+1}·2^i] from pts[u] — the exponential annulus of Section
+// 3.2, defined as B(u, 2^{t+1}·2^i) \ B(u, 2^t·2^i). The node u itself is
+// never counted.
+func AnnulusCount(pts []Point, active []bool, u, i, t int) int {
+	inner := math.Pow(2, float64(t)) * math.Pow(2, float64(i))
+	outer := 2 * inner
+	inner2, outer2 := inner*inner, outer*outer
+	count := 0
+	for v := range pts {
+		if v == u || !active[v] {
+			continue
+		}
+		d2 := pts[u].Dist2(pts[v])
+		if d2 > inner2 && d2 <= outer2 {
+			count++
+		}
+	}
+	return count
+}
+
+// GoodBound returns the paper's good-node annulus capacity 96·2^{t(α−1−ε)}
+// with ε = α/2 − 1; a node u in class d_i is good iff every annulus A_t^i(u)
+// holds at most this many active nodes. Note α−1−ε = α/2, so the capacity is
+// 96·2^{t·α/2}.
+func GoodBound(alpha float64, t int) float64 {
+	eps := alpha/2 - 1
+	return 96 * math.Pow(2, float64(t)*(alpha-1-eps))
+}
+
+// IsGood reports whether active node u (in link class classOf) is good in
+// the sense of Definition 1: for every annulus index t ≥ 0 with inner radius
+// below the active diameter, |A_t^i(u)| ≤ 96·2^{t(α−1−ε)}.
+func IsGood(pts []Point, active []bool, u int, classOf int, alpha float64, maxT int) bool {
+	for t := 0; t <= maxT; t++ {
+		if float64(AnnulusCount(pts, active, u, classOf, t)) > GoodBound(alpha, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAnnulusIndex returns the largest annulus index t that can be non-empty
+// for class i in a deployment of link ratio R: the inner radius 2^t·2^i must
+// not exceed R. It is the loop bound for IsGood scans.
+func MaxAnnulusIndex(r float64, i int) int {
+	if r < 1 {
+		return 0
+	}
+	t := int(math.Ceil(math.Log2(r))) - i
+	if t < 0 {
+		return 0
+	}
+	return t
+}

@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fadingcr/internal/xrand"
+)
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestLinkClassOf(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{1, 0}, {1.5, 0}, {1.999, 0},
+		{2, 1}, {3.9, 1},
+		{4, 2}, {7.99, 2},
+		{8, 3},
+		{0.999999, 0}, // float slack clamps to class 0
+	}
+	for _, c := range cases {
+		if got := LinkClassOf(c.d); got != c.want {
+			t.Errorf("LinkClassOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestComputeLinkClassesSimple(t *testing.T) {
+	// Nodes at 0, 1, 10 on a line: classes are d_0 (nodes 0, 1) and d_3
+	// (node 2: nearest neighbour at distance 9 ∈ [8, 16)).
+	pts := []Point{{0, 0}, {1, 0}, {10, 0}}
+	lc := ComputeLinkClasses(pts, allActive(3))
+	if lc.Class[0] != 0 || lc.Class[1] != 0 || lc.Class[2] != 3 {
+		t.Errorf("classes = %v, want [0 0 3]", lc.Class)
+	}
+	if lc.Nearest[0] != 1 || lc.Nearest[1] != 0 || lc.Nearest[2] != 1 {
+		t.Errorf("nearest = %v, want [1 0 1]", lc.Nearest)
+	}
+	wantSizes := []int{2, 0, 0, 1}
+	for i, w := range wantSizes {
+		if lc.Sizes[i] != w {
+			t.Errorf("Sizes = %v, want %v", lc.Sizes, wantSizes)
+			break
+		}
+	}
+	if lc.MaxClass() != 3 {
+		t.Errorf("MaxClass = %d, want 3", lc.MaxClass())
+	}
+	if lc.SizeBelow(3) != 2 {
+		t.Errorf("SizeBelow(3) = %d, want 2", lc.SizeBelow(3))
+	}
+	if lc.SizeBelow(0) != 0 {
+		t.Errorf("SizeBelow(0) = %d, want 0", lc.SizeBelow(0))
+	}
+	if lc.SizeBelow(100) != 3 {
+		t.Errorf("SizeBelow(100) = %d, want 3", lc.SizeBelow(100))
+	}
+}
+
+func TestComputeLinkClassesRespectsActiveMask(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {10, 0}}
+	active := []bool{true, false, true}
+	lc := ComputeLinkClasses(pts, active)
+	// With node 1 inactive, node 0's nearest active neighbour is node 2 at
+	// distance 10 (class 3); node 1 belongs to no class.
+	if lc.Class[1] != -1 {
+		t.Errorf("inactive node has class %d, want -1", lc.Class[1])
+	}
+	if lc.Class[0] != 3 || lc.Class[2] != 3 {
+		t.Errorf("classes = %v, want [3 -1 3]", lc.Class)
+	}
+	if lc.Nearest[0] != 2 {
+		t.Errorf("Nearest[0] = %d, want 2", lc.Nearest[0])
+	}
+}
+
+func TestComputeLinkClassesLastNode(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}}
+	active := []bool{true, false}
+	lc := ComputeLinkClasses(pts, active)
+	if lc.Class[0] != -1 {
+		t.Errorf("sole active node has class %d, want -1 (no class)", lc.Class[0])
+	}
+	if lc.Nearest[0] != -1 || !math.IsInf(lc.NearestDist[0], 1) {
+		t.Errorf("sole active node nearest = (%d, %v)", lc.Nearest[0], lc.NearestDist[0])
+	}
+	if len(lc.Sizes) != 0 {
+		t.Errorf("Sizes = %v, want empty", lc.Sizes)
+	}
+	if lc.MaxClass() != -1 {
+		t.Errorf("MaxClass = %d, want -1", lc.MaxClass())
+	}
+}
+
+// TestLinkClassesPartitionProperty: over random deployments, the link
+// classes partition exactly the active nodes with ≥2 active, class indices
+// lie in [0, log2 R], and Sizes sums to the active count.
+func TestLinkClassesPartitionProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, maskSeed uint64) bool {
+		n := 2 + int(nRaw%30)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(maskSeed)
+		active := make([]bool, n)
+		count := 0
+		for i := range active {
+			active[i] = rng.Float64() < 0.7
+			if active[i] {
+				count++
+			}
+		}
+		lc := ComputeLinkClasses(d.Points, active)
+		classed := 0
+		for u := range active {
+			if !active[u] {
+				if lc.Class[u] != -1 {
+					return false
+				}
+				continue
+			}
+			if count < 2 {
+				if lc.Class[u] != -1 {
+					return false
+				}
+				continue
+			}
+			c := lc.Class[u]
+			if c < 0 || float64(c) > math.Log2(d.R)+1e-9 {
+				return false
+			}
+			if v := lc.Nearest[u]; v < 0 || !active[v] || v == u {
+				return false
+			}
+			classed++
+		}
+		total := 0
+		for _, s := range lc.Sizes {
+			total += s
+		}
+		return total == classed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnulusCount(t *testing.T) {
+	// u at origin; ring boundaries for i=0: (1,2], (2,4], (4,8].
+	pts := []Point{
+		{0, 0},
+		{1.5, 0}, // t=0 annulus
+		{2, 0},   // boundary: distance exactly 2 belongs to t=0 (inner-exclusive, outer-inclusive)
+		{3, 0},   // t=1
+		{5, 0},   // t=2
+		{0.5, 0}, // inside B(u, 2^i=1): in no annulus for i=0
+	}
+	active := allActive(len(pts))
+	if got := AnnulusCount(pts, active, 0, 0, 0); got != 2 {
+		t.Errorf("t=0 count = %d, want 2", got)
+	}
+	if got := AnnulusCount(pts, active, 0, 0, 1); got != 1 {
+		t.Errorf("t=1 count = %d, want 1", got)
+	}
+	if got := AnnulusCount(pts, active, 0, 0, 2); got != 1 {
+		t.Errorf("t=2 count = %d, want 1", got)
+	}
+	// Inactive nodes are not counted.
+	active[1] = false
+	if got := AnnulusCount(pts, active, 0, 0, 0); got != 1 {
+		t.Errorf("t=0 count after deactivation = %d, want 1", got)
+	}
+	// Scaling i shifts the rings: for i=1 the t=0 annulus is (2,4].
+	active[1] = true
+	if got := AnnulusCount(pts, active, 0, 1, 0); got != 1 {
+		t.Errorf("i=1,t=0 count = %d, want 1", got)
+	}
+}
+
+func TestGoodBound(t *testing.T) {
+	// For α = 4: ε = 1, capacity = 96·2^{2t}.
+	if got := GoodBound(4, 0); got != 96 {
+		t.Errorf("GoodBound(4, 0) = %v, want 96", got)
+	}
+	if got := GoodBound(4, 1); got != 192*2 {
+		t.Errorf("GoodBound(4, 1) = %v, want 384", got)
+	}
+	// For α = 3: capacity = 96·2^{1.5t}.
+	want := 96 * math.Pow(2, 1.5)
+	if got := GoodBound(3, 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("GoodBound(3, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestIsGoodSparseNodeIsGood(t *testing.T) {
+	// Two distant nodes: trivially good (annuli nearly empty).
+	pts := []Point{{0, 0}, {100, 0}}
+	active := allActive(2)
+	if !IsGood(pts, active, 0, 6, 3, MaxAnnulusIndex(100, 6)) {
+		t.Error("isolated node should be good")
+	}
+}
+
+func TestIsGoodDenseClusterIsBad(t *testing.T) {
+	// Pack 200 extra active nodes into the t=0 annulus of u for class 0
+	// (distances in (1, 2]): exceeds the 96-node capacity for any α, so u
+	// must not be good.
+	rng := xrand.New(99)
+	pts := []Point{{0, 0}}
+	for len(pts) < 201 {
+		r := 1.1 + rng.Float64()*0.8
+		th := rng.Float64() * 2 * math.Pi
+		pts = append(pts, Point{r * math.Cos(th), r * math.Sin(th)})
+	}
+	active := allActive(len(pts))
+	if IsGood(pts, active, 0, 0, 3, 4) {
+		t.Error("node with 200 annulus neighbours should not be good")
+	}
+}
+
+func TestMaxAnnulusIndex(t *testing.T) {
+	if got := MaxAnnulusIndex(0.5, 0); got != 0 {
+		t.Errorf("R<1: got %d, want 0", got)
+	}
+	if got := MaxAnnulusIndex(1024, 0); got != 10 {
+		t.Errorf("R=1024,i=0: got %d, want 10", got)
+	}
+	if got := MaxAnnulusIndex(1024, 8); got != 2 {
+		t.Errorf("R=1024,i=8: got %d, want 2", got)
+	}
+	if got := MaxAnnulusIndex(4, 10); got != 0 {
+		t.Errorf("i beyond R: got %d, want 0", got)
+	}
+}
+
+func TestGreedySeparatedSubset(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {2.5, 0}, {10, 0}}
+	got := GreedySeparatedSubset(pts, []int{0, 1, 2, 3}, 2)
+	// Greedy keeps 0, rejects 1 (dist 1 ≤ 2) and 2 (dist 2.5 > 2 from 0 →
+	// kept), then 3.
+	want := []int{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("subset = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subset = %v, want %v", got, want)
+		}
+	}
+	if !PairwiseSeparated(pts, got, 2) {
+		t.Error("greedy subset not pairwise separated")
+	}
+	if PairwiseSeparated(pts, []int{0, 1}, 2) {
+		t.Error("PairwiseSeparated false negative")
+	}
+}
+
+// TestGreedySeparatedSubsetProperties: the result is always separated,
+// maximal (every rejected candidate conflicts with a chosen one), and a
+// subset of the candidates.
+func TestGreedySeparatedSubsetProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, sepRaw uint8) bool {
+		n := 2 + int(nRaw%40)
+		sep := 1 + float64(sepRaw%8)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		cands := make([]int, n)
+		for i := range cands {
+			cands[i] = i
+		}
+		chosen := GreedySeparatedSubset(d.Points, cands, sep)
+		if !PairwiseSeparated(d.Points, chosen, sep) {
+			return false
+		}
+		inChosen := make(map[int]bool, len(chosen))
+		for _, u := range chosen {
+			inChosen[u] = true
+		}
+		for _, u := range cands {
+			if inChosen[u] {
+				continue
+			}
+			conflict := false
+			for _, v := range chosen {
+				if d.Points[u].Dist2(d.Points[v]) <= sep*sep {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				return false // not maximal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeparatedSubsetConstantFraction checks the Lemma 2 shape: among nodes
+// of one link class (pairwise distance ≥ 2^i), the (s+1)·2^i-separated greedy
+// subset keeps at least a packing-constant fraction.
+func TestSeparatedSubsetConstantFraction(t *testing.T) {
+	const n = 400
+	rng := rand.New(rand.NewPCG(5, 5))
+	// Place n points with pairwise distance ≥ 1 via rejection on a grid
+	// region; these model one link class with i = 0.
+	pts := make([]Point, 0, n)
+	for len(pts) < n {
+		cand := Point{rng.Float64() * 60, rng.Float64() * 60}
+		ok := true
+		for _, p := range pts {
+			if p.Dist2(cand) < 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	cands := make([]int, n)
+	for i := range cands {
+		cands[i] = i
+	}
+	const s = 4.0
+	chosen := GreedySeparatedSubset(pts, cands, (s+1)*1)
+	// Packing argument: each chosen point eliminates at most
+	// (2(s+1)+1)² / 1² ≈ 121 candidates; expect ≥ n/121 chosen. Use a safe
+	// slack factor.
+	if minWant := n / 200; len(chosen) < minWant {
+		t.Errorf("chosen %d of %d, want ≥ %d (constant fraction)", len(chosen), n, minWant)
+	}
+}

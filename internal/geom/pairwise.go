@@ -1,0 +1,39 @@
+package geom
+
+// PopulatedLinkClasses returns the number of link classes that contain at
+// least one of the (n choose 2) pairwise links of the deployment — the
+// sense in which the paper's footnote 3 counts a network's link classes
+// ("when we say a network has l link classes, we mean there are l link
+// classes that contain at least one of the (n 2) possible links"). The lower
+// bound of Theorem 12 is stated for networks with O(log n) link classes in
+// exactly this sense.
+//
+// The scan is O(n²); deployments used in experiments are small enough for
+// this to be incidental.
+func PopulatedLinkClasses(pts []Point) int {
+	seen := map[int]bool{}
+	for a := range pts {
+		for b := a + 1; b < len(pts); b++ {
+			seen[LinkClassOf(pts[a].Dist(pts[b]))] = true
+		}
+	}
+	return len(seen)
+}
+
+// PairwiseClassHistogram returns, for each link class index, how many of the
+// (n choose 2) pairwise links fall into it; the slice is truncated at the
+// largest populated class. Useful for characterising workloads in
+// experiment write-ups.
+func PairwiseClassHistogram(pts []Point) []int {
+	var counts []int
+	for a := range pts {
+		for b := a + 1; b < len(pts); b++ {
+			c := LinkClassOf(pts[a].Dist(pts[b]))
+			for len(counts) <= c {
+				counts = append(counts, 0)
+			}
+			counts[c]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,89 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopulatedLinkClassesSimple(t *testing.T) {
+	// Nodes at 0, 1, 5: links 1 (class 0), 4 (class 2), 5 (class 2).
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 0}}
+	if got := PopulatedLinkClasses(pts); got != 2 {
+		t.Errorf("PopulatedLinkClasses = %d, want 2", got)
+	}
+	if got := PopulatedLinkClasses(pts[:2]); got != 1 {
+		t.Errorf("two nodes: %d, want 1", got)
+	}
+	if got := PopulatedLinkClasses(nil); got != 0 {
+		t.Errorf("empty: %d, want 0", got)
+	}
+}
+
+func TestPairwiseClassHistogram(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 5, Y: 0}}
+	got := PairwiseClassHistogram(pts)
+	want := []int{1, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("histogram = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", got, want)
+		}
+	}
+	if PairwiseClassHistogram(nil) != nil {
+		t.Error("empty input should give nil histogram")
+	}
+}
+
+// TestPairwisePropertyConsistency: the histogram sums to (n choose 2), its
+// populated entries match PopulatedLinkClasses, and every class index is at
+// most log2(R) for the normalised deployment.
+func TestPairwisePropertyConsistency(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		hist := PairwiseClassHistogram(d.Points)
+		total, populated := 0, 0
+		for _, c := range hist {
+			total += c
+			if c > 0 {
+				populated++
+			}
+		}
+		if total != n*(n-1)/2 {
+			return false
+		}
+		if populated != PopulatedLinkClasses(d.Points) {
+			return false
+		}
+		return float64(len(hist)-1) <= math.Log2(d.R)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExponentialChainPopulatesExactlyRequestedNearestClasses: the chain's
+// nearest-neighbour classes are [0, classes); the pairwise census adds the
+// long inter-pair links on top.
+func TestExponentialChainPairwiseCensus(t *testing.T) {
+	d, err := ExponentialChain(2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := PairwiseClassHistogram(d.Points)
+	for i := 0; i < 5; i++ {
+		if hist[i] == 0 {
+			t.Errorf("class %d unpopulated in pairwise census: %v", i, hist)
+		}
+	}
+	// The chain also has long links, so the census exceeds 5 classes.
+	if PopulatedLinkClasses(d.Points) <= 5 {
+		t.Errorf("expected long-link classes beyond the 5 nearest-neighbour ones")
+	}
+}

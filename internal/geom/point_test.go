@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v, want (4, -2)", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v, want (-2, 6)", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v, want (2, 4)", got)
+	}
+	if got := q.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDistKnownValues(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{-1, -1}, Point{-1, 1}, 2},
+		{Point{1e9, 0}, Point{1e9, 7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// clampPoint maps arbitrary quick-generated floats into a sane finite range
+// so property tests exercise geometry, not float overflow.
+func clampPoint(p Point) Point {
+	c := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	return Point{c(p.X), c(p.Y)}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(a, b Point) bool {
+		a, b = clampPoint(a), clampPoint(b)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		a, b, c = clampPoint(a), clampPoint(b), clampPoint(c)
+		// Allow a relative epsilon for floating-point round-off.
+		lhs := a.Dist(c)
+		rhs := a.Dist(b) + b.Dist(c)
+		return lhs <= rhs*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistNonNegativeAndIdentityProperty(t *testing.T) {
+	f := func(a, b Point) bool {
+		a, b = clampPoint(a), clampPoint(b)
+		d := a.Dist(b)
+		if d < 0 {
+			return false
+		}
+		if a == b && d != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2ConsistentWithDistProperty(t *testing.T) {
+	f := func(a, b Point) bool {
+		a, b = clampPoint(a), clampPoint(b)
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxPairwiseDist(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {5, 0}, {5, 12}}
+	minD, i, j := MinPairwiseDist(pts)
+	if minD != 1 || i != 0 || j != 1 {
+		t.Errorf("MinPairwiseDist = (%v, %d, %d), want (1, 0, 1)", minD, i, j)
+	}
+	maxD, i, j := MaxPairwiseDist(pts)
+	want := Point{0, 0}.Dist(Point{5, 12}) // 13
+	if maxD != want || i != 0 || j != 3 {
+		t.Errorf("MaxPairwiseDist = (%v, %d, %d), want (%v, 0, 3)", maxD, i, j, want)
+	}
+}
+
+func TestMinMaxPairwiseDistDegenerate(t *testing.T) {
+	if d, i, j := MinPairwiseDist(nil); !math.IsInf(d, 1) || i != -1 || j != -1 {
+		t.Errorf("MinPairwiseDist(nil) = (%v, %d, %d)", d, i, j)
+	}
+	if d, i, j := MinPairwiseDist([]Point{{1, 1}}); !math.IsInf(d, 1) || i != -1 || j != -1 {
+		t.Errorf("MinPairwiseDist(single) = (%v, %d, %d)", d, i, j)
+	}
+	if d, i, j := MaxPairwiseDist([]Point{{1, 1}}); d != 0 || i != -1 || j != -1 {
+		t.Errorf("MaxPairwiseDist(single) = (%v, %d, %d)", d, i, j)
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {3, 0}}
+	j, d := NearestNeighbor(pts, 0)
+	if j != 1 || d != 2 {
+		t.Errorf("NearestNeighbor(0) = (%d, %v), want (1, 2)", j, d)
+	}
+	j, d = NearestNeighbor(pts, 1)
+	if j != 2 || d != 1 {
+		t.Errorf("NearestNeighbor(1) = (%d, %v), want (2, 1)", j, d)
+	}
+	j, d = NearestNeighbor([]Point{{1, 1}}, 0)
+	if j != -1 || !math.IsInf(d, 1) {
+		t.Errorf("NearestNeighbor(single) = (%d, %v), want (-1, +Inf)", j, d)
+	}
+}
+
+func TestNearestNeighborNeverSelfProperty(t *testing.T) {
+	f := func(raw []Point, pick uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, p := range raw {
+			pts[i] = clampPoint(p)
+		}
+		i := int(pick) % len(pts)
+		j, _ := NearestNeighbor(pts, i)
+		return j != i && j >= 0 && j < len(pts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package geom
+
+// GreedySeparatedSubset returns a maximal subset of the candidate indices in
+// which every two chosen points are more than minSep apart, built greedily in
+// candidate order. By the standard circle-packing argument (Lemma 2 of the
+// paper) the greedy subset contains a constant fraction of the candidates
+// when the candidates themselves are at pairwise distance ≥ minSep/(s+1) for
+// the relevant separation constant s.
+func GreedySeparatedSubset(pts []Point, candidates []int, minSep float64) []int {
+	sep2 := minSep * minSep
+	chosen := make([]int, 0, len(candidates))
+	for _, u := range candidates {
+		ok := true
+		for _, v := range chosen {
+			if pts[u].Dist2(pts[v]) <= sep2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, u)
+		}
+	}
+	return chosen
+}
+
+// PairwiseSeparated reports whether every two of the given points are more
+// than minSep apart.
+func PairwiseSeparated(pts []Point, idx []int, minSep float64) bool {
+	sep2 := minSep * minSep
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			if pts[idx[a]].Dist2(pts[idx[b]]) <= sep2 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+
+	"fadingcr/internal/xrand"
+)
+
+// Subset returns the deployment induced by the given node indices — the
+// model's "unknown subset of nodes in V are activated": only the activated
+// nodes participate, so the effective network is the sub-deployment over
+// their positions. The result is re-normalised (shortest link 1), which is
+// without loss of generality by the scale invariance of the SINR equation
+// (sinr.TestScaleInvarianceProperty); the activated subset's own R governs
+// the O(log n + log R) bound.
+//
+// Indices must be distinct, in range, and at least two.
+func (d *Deployment) Subset(indices []int) (*Deployment, error) {
+	if len(indices) < 2 {
+		return nil, errors.New("geom: subset needs at least 2 nodes")
+	}
+	seen := make(map[int]bool, len(indices))
+	raw := make([]Point, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(d.Points) {
+			return nil, fmt.Errorf("geom: subset index %d outside [0, %d)", i, len(d.Points))
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("geom: duplicate subset index %d", i)
+		}
+		seen[i] = true
+		raw = append(raw, d.Points[i])
+	}
+	return NewDeployment(raw)
+}
+
+// RandomSubset draws m distinct node indices uniformly at random — the
+// adversary's activation choice in expectation experiments.
+func RandomSubset(seed uint64, n, m int) ([]int, error) {
+	if m < 0 || m > n {
+		return nil, fmt.Errorf("geom: subset size %d outside [0, %d]", m, n)
+	}
+	perm := xrand.Perm(xrand.New(seed), n)
+	out := append([]int(nil), perm[:m]...)
+	return out, nil
+}

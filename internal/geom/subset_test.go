@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsetBasic(t *testing.T) {
+	d, err := NewDeployment([]Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 10, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original normalises by min distance 2: R = 5.
+	if d.R != 5 {
+		t.Fatalf("R = %v, want 5", d.R)
+	}
+	sub, err := d.Subset([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 {
+		t.Errorf("N = %d, want 2", sub.N())
+	}
+	// The pair re-normalises to distance 1, R = 1.
+	if sub.R != 1 {
+		t.Errorf("subset R = %v, want 1", sub.R)
+	}
+}
+
+func TestSubsetValidation(t *testing.T) {
+	d, err := UniformDisk(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subset([]int{3}); err == nil {
+		t.Error("single index accepted")
+	}
+	if _, err := d.Subset([]int{0, 10}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := d.Subset([]int{-1, 2}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := d.Subset([]int{2, 2}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	idx, err := RandomSubset(5, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 7 {
+		t.Fatalf("len = %d, want 7", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 20 || seen[i] {
+			t.Fatalf("invalid or duplicate index %d in %v", i, idx)
+		}
+		seen[i] = true
+	}
+	if _, err := RandomSubset(1, 5, 6); err == nil {
+		t.Error("m > n accepted")
+	}
+	if _, err := RandomSubset(1, 5, -1); err == nil {
+		t.Error("negative m accepted")
+	}
+	// Determinism.
+	a, _ := RandomSubset(9, 30, 10)
+	b, _ := RandomSubset(9, 30, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomSubset not deterministic")
+		}
+	}
+}
+
+// TestSubsetPreservesRelativeGeometry: distances in the subset equal the
+// original distances divided by the subset's own minimum distance (pure
+// rescale, no distortion).
+func TestSubsetPreservesRelativeGeometry(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 4 + int(nRaw%20)
+		m := 2 + int(mRaw)%(n-2)
+		d, err := UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		idx, err := RandomSubset(seed+1, n, m)
+		if err != nil {
+			return false
+		}
+		sub, err := d.Subset(idx)
+		if err != nil {
+			return false
+		}
+		// Ratios of distances are scale-invariant: compare a pair ratio.
+		if m < 3 {
+			return true
+		}
+		origAB := d.Points[idx[0]].Dist(d.Points[idx[1]])
+		origAC := d.Points[idx[0]].Dist(d.Points[idx[2]])
+		subAB := sub.Points[0].Dist(sub.Points[1])
+		subAC := sub.Points[0].Dist(sub.Points[2])
+		if origAC == 0 || subAC == 0 {
+			return false
+		}
+		ratioOrig := origAB / origAC
+		ratioSub := subAB / subAC
+		diff := ratioOrig - ratioSub
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+ratioOrig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

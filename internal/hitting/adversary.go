@@ -1,0 +1,97 @@
+package hitting
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the adversarial-referee view of the restricted
+// k-hitting game. Lemma 13's lower bound is against a referee that chooses
+// the target *worst-case*, not at random. Every player in this repository is
+// oblivious — the game's only feedback ("your proposal lost") carries no
+// information, so a player's proposal sequence is a fixed random sequence
+// given its seed. Against an oblivious player the optimal adversary simply
+// picks the 2-element target that survives the longest prefix of that
+// sequence; ObliviousWorstCase computes it exactly.
+
+// WorstCase is the outcome of an adversarial game against an oblivious
+// player.
+type WorstCase struct {
+	// Rounds is the number of rounds the best adversarial target survives
+	// (the first winning round against that target); equals the budget when
+	// some target survives every proposal.
+	Rounds int
+	// TargetA, TargetB is a maximising target pair.
+	TargetA, TargetB int
+	// Survived reports whether the target survived the entire budget.
+	Survived bool
+}
+
+// ObliviousWorstCase plays the player's proposal sequence once (feeding the
+// mandatory loss feedback after each round) and returns the target pair that
+// maximises the winning round. It is exact for oblivious players; for a
+// feedback-sensitive player it is a lower bound on the adversarial value
+// (the adversary could do at least this well).
+//
+// Complexity: O(maxRounds·k) to ingest proposals plus O(k²) for the
+// pair scan, using per-element first-appearance times.
+func ObliviousWorstCase(p Player, k, maxRounds int) (WorstCase, error) {
+	if k < 2 {
+		return WorstCase{}, errors.New("hitting: k must be ≥ 2")
+	}
+	if maxRounds < 1 {
+		return WorstCase{}, fmt.Errorf("hitting: maxRounds %d must be ≥ 1", maxRounds)
+	}
+	// inRound[r][id] via a compact bitset per round is overkill: we only
+	// need, for each pair (a, b), the first round containing exactly one of
+	// them. Record each element's appearance set as a sorted round list.
+	appearances := make([][]int32, k+1) // 1-based ids
+	for round := 1; round <= maxRounds; round++ {
+		proposal := p.Propose(round)
+		seen := make(map[int]bool, len(proposal))
+		for _, id := range proposal {
+			if id < 1 || id > k {
+				return WorstCase{}, fmt.Errorf("hitting: proposal element %d outside [1, %d]", id, k)
+			}
+			if !seen[id] {
+				seen[id] = true
+				appearances[id] = append(appearances[id], int32(round))
+			}
+		}
+		p.Reject(round)
+	}
+	best := WorstCase{Rounds: 0, TargetA: 1, TargetB: 2}
+	for a := 1; a <= k; a++ {
+		for b := a + 1; b <= k; b++ {
+			r, survived := firstAsymmetricRound(appearances[a], appearances[b], maxRounds)
+			if survived && !best.Survived || (survived == best.Survived && r > best.Rounds) {
+				best = WorstCase{Rounds: r, TargetA: a, TargetB: b, Survived: survived}
+			}
+		}
+	}
+	return best, nil
+}
+
+// firstAsymmetricRound returns the first round present in exactly one of the
+// two sorted appearance lists, or (maxRounds, true) if none exists.
+func firstAsymmetricRound(a, b []int32, maxRounds int) (int, bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			return int(a[i]), false
+		default:
+			return int(b[j]), false
+		}
+	}
+	if i < len(a) {
+		return int(a[i]), false
+	}
+	if j < len(b) {
+		return int(b[j]), false
+	}
+	return maxRounds, true
+}

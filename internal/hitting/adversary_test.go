@@ -1,0 +1,164 @@
+package hitting
+
+import (
+	"math"
+	"testing"
+
+	"fadingcr/internal/core"
+)
+
+// scriptedPlayer replays a fixed proposal sequence.
+type scriptedPlayer struct {
+	script [][]int
+}
+
+func (s *scriptedPlayer) Propose(round int) []int {
+	if round <= len(s.script) {
+		return s.script[round-1]
+	}
+	return nil
+}
+
+func (s *scriptedPlayer) Reject(int) {}
+
+func TestObliviousWorstCaseScripted(t *testing.T) {
+	// k=3. Round 1 proposes {1}: kills targets (1,2) and (1,3).
+	// Round 2 proposes {2}: kills (2,3). So the adversary's best is (2,3),
+	// surviving until round 2.
+	p := &scriptedPlayer{script: [][]int{{1}, {2}, {3}}}
+	wc, err := ObliviousWorstCase(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Rounds != 2 || wc.Survived {
+		t.Errorf("WorstCase = %+v, want rounds 2, not survived", wc)
+	}
+	if !(wc.TargetA == 2 && wc.TargetB == 3) {
+		t.Errorf("target = (%d, %d), want (2, 3)", wc.TargetA, wc.TargetB)
+	}
+}
+
+func TestObliviousWorstCaseSurvivingTarget(t *testing.T) {
+	// The player always proposes {1, 2} together: target (1,2) never loses.
+	p := &scriptedPlayer{script: [][]int{{1, 2}, {1, 2}, {1, 2}}}
+	wc, err := ObliviousWorstCase(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wc.Survived || wc.Rounds != 3 {
+		t.Errorf("WorstCase = %+v, want survived for the full budget", wc)
+	}
+	if !(wc.TargetA == 1 && wc.TargetB == 2) {
+		t.Errorf("target = (%d, %d), want (1, 2)", wc.TargetA, wc.TargetB)
+	}
+}
+
+func TestObliviousWorstCaseDuplicatesAndValidation(t *testing.T) {
+	// Duplicates within a proposal count once.
+	p := &scriptedPlayer{script: [][]int{{1, 1, 2, 2}, {1}}}
+	wc, err := ObliviousWorstCase(p, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target must be (1,2); round 1 hits both (no win), round 2 hits one.
+	if wc.Rounds != 2 || wc.Survived {
+		t.Errorf("WorstCase = %+v", wc)
+	}
+
+	if _, err := ObliviousWorstCase(p, 1, 2); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := ObliviousWorstCase(p, 2, 0); err == nil {
+		t.Error("maxRounds=0 accepted")
+	}
+	bad := &scriptedPlayer{script: [][]int{{99}}}
+	if _, err := ObliviousWorstCase(bad, 2, 1); err == nil {
+		t.Error("out-of-range proposal accepted")
+	}
+}
+
+// TestObliviousWorstCaseDominatesRandomReferee: the adversarial value is at
+// least the rounds needed against any specific random target.
+func TestObliviousWorstCaseDominatesRandomReferee(t *testing.T) {
+	const k = 24
+	for seed := uint64(0); seed < 10; seed++ {
+		mk := func() Player {
+			p, err := NewFixedDensityPlayer(k, 0.5, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		wc, err := ObliviousWorstCase(mk(), k, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewReferee(k, seed+500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, won, err := Play(ref, mk(), 10000)
+		if err != nil || !won {
+			t.Fatalf("seed %d: won=%v err=%v", seed, won, err)
+		}
+		if rounds > wc.Rounds {
+			t.Errorf("seed %d: random-target rounds %d exceed adversarial value %d", seed, rounds, wc.Rounds)
+		}
+	}
+}
+
+// TestObliviousWorstCaseGrowsLogarithmically: against the optimal
+// half-density player, the adversarial value is Θ(log k) — with ~k²/2
+// candidate targets each surviving a round w.p. 1/2, the worst survives
+// ≈ 2·log₂k rounds.
+func TestObliviousWorstCaseGrowsLogarithmically(t *testing.T) {
+	value := func(k int, trials int) float64 {
+		total := 0.0
+		for seed := uint64(0); seed < uint64(trials); seed++ {
+			p, err := NewFixedDensityPlayer(k, 0.5, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc, err := ObliviousWorstCase(p, k, 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wc.Survived {
+				t.Fatalf("k=%d seed=%d: a target survived 5000 rounds", k, seed)
+			}
+			total += float64(wc.Rounds)
+		}
+		return total / float64(trials)
+	}
+	v16 := value(16, 12)
+	v256 := value(256, 12)
+	// Expected ≈ 2·log₂(k) + O(1): ~8 and ~16.
+	if v16 < math.Log2(16) || v16 > 6*math.Log2(16) {
+		t.Errorf("adversarial value at k=16 is %v, want Θ(log k) ≈ 8", v16)
+	}
+	if v256 <= v16 {
+		t.Errorf("adversarial value did not grow: %v → %v", v16, v256)
+	}
+	if v256 > 3*v16 {
+		t.Errorf("adversarial value grew super-logarithmically: %v → %v", v16, v256)
+	}
+}
+
+// TestObliviousWorstCaseCRPlayer: the Lemma 14 reduction player also has a
+// finite, Θ(log k)-ish adversarial value.
+func TestObliviousWorstCaseCRPlayer(t *testing.T) {
+	p, err := NewSimulationPlayer(core.FixedProbability{}, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := ObliviousWorstCase(p, 32, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Survived {
+		t.Fatal("a target survived the CR player for 20000 rounds")
+	}
+	if wc.Rounds < 5 {
+		t.Errorf("adversarial value %d suspiciously low for k=32", wc.Rounds)
+	}
+}

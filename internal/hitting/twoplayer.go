@@ -1,0 +1,37 @@
+package hitting
+
+import (
+	"fmt"
+
+	"fadingcr/internal/radio"
+	"fadingcr/internal/sim"
+)
+
+// TwoPlayerResult summarises one two-player contention resolution game.
+type TwoPlayerResult struct {
+	// Rounds is the 1-based round in which symmetry broke, or the budget.
+	Rounds int
+	// Won reports whether symmetry broke within the budget.
+	Won bool
+	// Winner is the transmitting node (0 or 1), or −1.
+	Winner int
+}
+
+// PlayTwoPlayer runs the two-player contention resolution game of Section 4
+// for an arbitrary algorithm: two nodes run b's protocol; the game is won
+// the first time exactly one transmits. Before that, no messages are ever
+// received (two transmitters collide, two listeners hear nothing) — which is
+// precisely the collision channel, so the game runs on a 2-node radio
+// channel. As the paper notes, with only two nodes the fading behaviour of
+// the channel is irrelevant: there is no opportunity for spatial reuse.
+func PlayTwoPlayer(b sim.Builder, seed uint64, maxRounds int) (TwoPlayerResult, error) {
+	ch, err := radio.New(2, false)
+	if err != nil {
+		return TwoPlayerResult{}, err
+	}
+	res, err := sim.Run(ch, b, seed, sim.Config{MaxRounds: maxRounds})
+	if err != nil {
+		return TwoPlayerResult{}, fmt.Errorf("two-player game: %w", err)
+	}
+	return TwoPlayerResult{Rounds: res.Rounds, Won: res.Solved, Winner: res.Winner}, nil
+}

@@ -1,0 +1,145 @@
+// Package schedule implements centralized one-shot SINR link scheduling in
+// the style of Moscibroda and Wattenhofer — the line of work the paper
+// credits with proving that fading channels admit *spatial reuse* ("spectrum
+// reuse enabled by super-quadratic signal fading") and thereby originating
+// the conjecture the paper resolves for distributed algorithms.
+//
+// The scheduler answers the capacity question directly: how many
+// sender→receiver links can transmit simultaneously in one round such that
+// every receiver decodes its own sender under the SINR equation? On a
+// collision channel the answer is always 1; on a fading channel it grows
+// linearly with n for constant-density deployments — which is exactly the
+// headroom the paper's distributed algorithm exploits through knock-outs.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sinr"
+)
+
+// Link is a directed transmission request.
+type Link struct {
+	// Sender and Receiver are node indices into the deployment.
+	Sender, Receiver int
+}
+
+// NearestNeighborLinks returns the canonical request set used by capacity
+// experiments: every node wants to transmit to its nearest neighbour.
+func NearestNeighborLinks(pts []geom.Point) []Link {
+	links := make([]Link, 0, len(pts))
+	for u := range pts {
+		v, _ := geom.NearestNeighbor(pts, u)
+		if v >= 0 {
+			links = append(links, Link{Sender: u, Receiver: v})
+		}
+	}
+	return links
+}
+
+// Feasible reports whether every link of the set is decoded when all the
+// set's senders transmit simultaneously: for each link, the receiver must
+// not itself be a sender, and the sender's SINR at the receiver must clear
+// β against the other senders' interference plus noise.
+func Feasible(params sinr.Params, pts []geom.Point, links []Link) (bool, error) {
+	if err := params.Validate(); err != nil {
+		return false, err
+	}
+	sending := make(map[int]bool, len(links))
+	for _, l := range links {
+		if l.Sender < 0 || l.Sender >= len(pts) || l.Receiver < 0 || l.Receiver >= len(pts) {
+			return false, fmt.Errorf("schedule: link %+v outside deployment of %d nodes", l, len(pts))
+		}
+		if l.Sender == l.Receiver {
+			return false, fmt.Errorf("schedule: link %+v is a self-loop", l)
+		}
+		if sending[l.Sender] {
+			return false, nil // a sender can serve at most one link per round
+		}
+		sending[l.Sender] = true
+	}
+	for _, l := range links {
+		if sending[l.Receiver] {
+			return false, nil // a receiver cannot also transmit
+		}
+		signal := params.Signal(pts[l.Sender].Dist(pts[l.Receiver]))
+		interference := 0.0
+		for s := range sending {
+			if s == l.Sender {
+				continue
+			}
+			interference += params.Signal(pts[s].Dist(pts[l.Receiver]))
+		}
+		if params.SINR(signal, interference) < params.Beta {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Greedy builds a feasible simultaneous transmission set greedily: requests
+// are considered in ascending link-length order (short links are the easiest
+// to protect, the standard heuristic of the capacity literature), and each
+// is added if the set stays feasible. The result is maximal: no rejected
+// link can be added afterwards. Complexity O(k²·k) for k requests.
+func Greedy(params sinr.Params, pts []geom.Point, requests []Link) ([]Link, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("schedule: empty deployment")
+	}
+	ordered := append([]Link(nil), requests...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		di := pts[ordered[i].Sender].Dist2(pts[ordered[i].Receiver])
+		dj := pts[ordered[j].Sender].Dist2(pts[ordered[j].Receiver])
+		return di < dj
+	})
+	var chosen []Link
+	for _, l := range ordered {
+		candidate := append(chosen, l)
+		ok, err := Feasible(params, pts, candidate)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			chosen = candidate
+		}
+	}
+	return chosen, nil
+}
+
+// ScheduleAll partitions the requests into consecutive feasible rounds by
+// repeatedly applying Greedy — the one-shot capacity iterated until every
+// link has been served. It returns the per-round link sets. Requests that
+// can never be feasible alone (e.g. violating the SINR threshold even with
+// no interference) surface as an error rather than an infinite loop.
+func ScheduleAll(params sinr.Params, pts []geom.Point, requests []Link) ([][]Link, error) {
+	remaining := append([]Link(nil), requests...)
+	var rounds [][]Link
+	for len(remaining) > 0 {
+		batch, err := Greedy(params, pts, remaining)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("schedule: %d requests cannot be scheduled (infeasible even in isolation)", len(remaining))
+		}
+		rounds = append(rounds, batch)
+		served := make(map[Link]bool, len(batch))
+		for _, l := range batch {
+			served[l] = true
+		}
+		next := remaining[:0]
+		for _, l := range remaining {
+			if !served[l] {
+				next = append(next, l)
+			}
+		}
+		remaining = next
+	}
+	return rounds, nil
+}

@@ -1,0 +1,194 @@
+package schedule
+
+import (
+	"testing"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sinr"
+)
+
+func testParams(r float64) sinr.Params {
+	p := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	p.Power = sinr.MinSingleHopPower(p.Alpha, p.Beta, p.Noise, r, sinr.DefaultSingleHopMargin)
+	return p
+}
+
+func TestNearestNeighborLinks(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 0}}
+	links := NearestNeighborLinks(pts)
+	if len(links) != 3 {
+		t.Fatalf("got %d links, want 3", len(links))
+	}
+	if links[0] != (Link{Sender: 0, Receiver: 1}) || links[2] != (Link{Sender: 2, Receiver: 1}) {
+		t.Errorf("links = %v", links)
+	}
+	if got := NearestNeighborLinks(pts[:1]); len(got) != 0 {
+		t.Errorf("single node produced links %v", got)
+	}
+}
+
+func TestFeasibleSingleLink(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	ok, err := Feasible(testParams(1), pts, []Link{{Sender: 0, Receiver: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("isolated single-hop link infeasible")
+	}
+}
+
+func TestFeasibleRejectsStructuralConflicts(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	p := testParams(2)
+	// Receiver also sends.
+	ok, err := Feasible(p, pts, []Link{{Sender: 0, Receiver: 1}, {Sender: 1, Receiver: 2}})
+	if err != nil || ok {
+		t.Errorf("receiver-sends set judged feasible (ok=%v err=%v)", ok, err)
+	}
+	// Duplicate sender.
+	ok, err = Feasible(p, pts, []Link{{Sender: 0, Receiver: 1}, {Sender: 0, Receiver: 2}})
+	if err != nil || ok {
+		t.Errorf("duplicate-sender set judged feasible (ok=%v err=%v)", ok, err)
+	}
+	// Out-of-range and self-loop surface errors.
+	if _, err := Feasible(p, pts, []Link{{Sender: 0, Receiver: 9}}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if _, err := Feasible(p, pts, []Link{{Sender: 1, Receiver: 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := Feasible(sinr.Params{}, pts, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestFeasibleInterferenceRejection(t *testing.T) {
+	// Link b's sender sits half a unit from link a's receiver: its
+	// interference (P/0.5³ = 8P) drowns a's unit-distance signal (P), so the
+	// pair is infeasible together while each link alone is fine.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1.5, Y: 0}, {X: 2.5, Y: 0}}
+	p := testParams(2.5)
+	a := Link{Sender: 0, Receiver: 1}
+	b := Link{Sender: 2, Receiver: 3}
+	for _, solo := range [][]Link{{a}, {b}} {
+		ok, err := Feasible(p, pts, solo)
+		if err != nil || !ok {
+			t.Fatalf("single link %v infeasible (ok=%v err=%v)", solo, ok, err)
+		}
+	}
+	okBoth, err := Feasible(p, pts, []Link{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okBoth {
+		t.Error("interference-dominated pair judged feasible; interference model broken")
+	}
+}
+
+func TestGreedyProducesFeasibleMaximalSet(t *testing.T) {
+	d, err := geom.UniformDisk(5, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(d.R)
+	requests := NearestNeighborLinks(d.Points)
+	chosen, err := Greedy(p, d.Points, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		t.Fatal("empty schedule")
+	}
+	ok, err := Feasible(p, d.Points, chosen)
+	if err != nil || !ok {
+		t.Fatalf("greedy schedule infeasible (ok=%v err=%v)", ok, err)
+	}
+	// Maximality: every rejected request conflicts with the chosen set.
+	inChosen := map[Link]bool{}
+	for _, l := range chosen {
+		inChosen[l] = true
+	}
+	for _, l := range requests {
+		if inChosen[l] {
+			continue
+		}
+		ok, err := Feasible(p, d.Points, append(append([]Link(nil), chosen...), l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("rejected link %+v could have been added: schedule not maximal", l)
+		}
+	}
+}
+
+// TestSpatialReuseCapacityGrows is the conjecture's origin in one assertion:
+// one-shot SINR capacity grows with n (the collision channel's is always 1).
+func TestSpatialReuseCapacityGrows(t *testing.T) {
+	capacity := func(n int) int {
+		d, err := geom.UniformDisk(9, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testParams(d.R)
+		chosen, err := Greedy(p, d.Points, NearestNeighborLinks(d.Points))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(chosen)
+	}
+	c32, c256 := capacity(32), capacity(256)
+	if c32 < 2 {
+		t.Errorf("capacity(32) = %d; expected spatial reuse beyond a single link", c32)
+	}
+	if c256 < 3*c32 {
+		t.Errorf("capacity grew %d → %d from n=32 to n=256; expected ~linear growth", c32, c256)
+	}
+}
+
+func TestScheduleAllServesEveryRequest(t *testing.T) {
+	d, err := geom.UniformDisk(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(d.R)
+	requests := NearestNeighborLinks(d.Points)
+	rounds, err := ScheduleAll(p, d.Points, requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, batch := range rounds {
+		ok, err := Feasible(p, d.Points, batch)
+		if err != nil || !ok {
+			t.Fatalf("round infeasible (ok=%v err=%v)", ok, err)
+		}
+		served += len(batch)
+	}
+	if served != len(requests) {
+		t.Errorf("served %d of %d requests", served, len(requests))
+	}
+	// With spatial reuse the schedule is far shorter than one-per-round.
+	if len(rounds) >= len(requests) {
+		t.Errorf("%d rounds for %d requests: no reuse at all", len(rounds), len(requests))
+	}
+}
+
+func TestScheduleAllInfeasibleRequest(t *testing.T) {
+	// A link longer than the power budget supports can never be scheduled.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1000, Y: 0}}
+	p := testParams(1) // power budgeted for distance 1 only
+	if _, err := ScheduleAll(p, pts, []Link{{Sender: 0, Receiver: 2}}); err == nil {
+		t.Error("unschedulable request did not error")
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	if _, err := Greedy(sinr.Params{}, []geom.Point{{X: 0, Y: 0}}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Greedy(testParams(1), nil, nil); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sim provides the synchronous round-based execution engine shared
+// by every algorithm and channel in the repository.
+//
+// The model follows Section 2 of the paper: time is divided into synchronous
+// rounds; in each round every participating node either transmits or
+// listens; a channel implementation decides which messages are received. The
+// contention resolution problem is solved in the first round in which
+// exactly one participant transmits — the engine detects this with an
+// omniscient oracle, while the nodes themselves observe only their own
+// receptions (and, on channels with collision detection, the
+// silence/message/collision trichotomy).
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Channel is one-round message delivery over a fixed set of n nodes. It is
+// satisfied by sinr.Channel, sinr.RayleighChannel, and radio.Channel.
+type Channel interface {
+	// N returns the number of nodes on the channel.
+	N() int
+	// Deliver fills recv for the given transmit vector: recv[v] is the
+	// index of the transmitter whose message listener v received, or −1.
+	Deliver(tx []bool, recv []int)
+}
+
+// Action is a node's choice for a round.
+type Action int
+
+const (
+	// Listen keeps the radio in receive mode.
+	Listen Action = iota + 1
+	// Transmit broadcasts at the fixed power.
+	Transmit
+)
+
+// Feedback is what a listening node perceives about the round when the
+// channel supports collision detection; Unknown on channels that do not.
+type Feedback int
+
+const (
+	// Unknown: the channel provides no carrier feedback.
+	Unknown Feedback = iota
+	// Silence: no participant transmitted.
+	Silence
+	// Message: exactly one participant transmitted.
+	Message
+	// Collision: two or more participants transmitted.
+	Collision
+)
+
+// Node is the per-node state machine of a protocol. Implementations must be
+// deterministic functions of their seed and observation history.
+type Node interface {
+	// Act returns the node's action for round (1-based). Act is called
+	// exactly once per round, before Hear.
+	Act(round int) Action
+	// Hear reports the round's outcome to the node: from is the sender
+	// index of the decoded message, or −1 when nothing was received (which
+	// is always the case while transmitting); detect carries the collision
+	// detection trichotomy on channels that expose it, Unknown otherwise.
+	Hear(round int, from int, detect Feedback)
+}
+
+// Builder constructs the per-node state machines for a run. Build must
+// return exactly n nodes, deterministically in (n, seed).
+type Builder interface {
+	// Name identifies the protocol in reports and traces.
+	Name() string
+	// Build returns the protocol's n per-node state machines.
+	Build(n int, seed uint64) []Node
+}
+
+// Tracer observes each executed round. The slices passed to OnRound are
+// reused between rounds; implementations must copy anything they retain.
+type Tracer interface {
+	OnRound(round int, nodes []Node, tx []bool, recv []int)
+}
+
+// Result summarises one execution.
+type Result struct {
+	// Solved reports whether a solo broadcast occurred within the round
+	// budget.
+	Solved bool
+	// Rounds is the 1-based index of the solving round, or the budget when
+	// unsolved.
+	Rounds int
+	// Winner is the node that transmitted alone, or −1 when unsolved.
+	Winner int
+	// Transmissions is the total number of transmissions across all nodes
+	// and rounds (an energy measure).
+	Transmissions int64
+}
+
+// Config controls an execution.
+type Config struct {
+	// MaxRounds caps the execution; must be ≥ 1.
+	MaxRounds int
+	// CollisionDetection lets listening nodes observe the
+	// silence/message/collision trichotomy, as in the radio network model
+	// with receiver collision detection. Leave false for the paper's
+	// models.
+	CollisionDetection bool
+	// Tracer, when non-nil, observes every executed round.
+	Tracer Tracer
+}
+
+// Run executes the protocol built by b over the channel until a solo
+// broadcast or the round budget. The seed drives all protocol randomness.
+func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
+	if ch == nil || b == nil {
+		return Result{}, errors.New("sim: nil channel or builder")
+	}
+	if cfg.MaxRounds < 1 {
+		return Result{}, fmt.Errorf("sim: MaxRounds %d must be ≥ 1", cfg.MaxRounds)
+	}
+	n := ch.N()
+	nodes := b.Build(n, seed)
+	if len(nodes) != n {
+		return Result{}, fmt.Errorf("sim: builder %q returned %d nodes for n=%d", b.Name(), len(nodes), n)
+	}
+	tx := make([]bool, n)
+	recv := make([]int, n)
+	var transmissions int64
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		count, solo := 0, -1
+		for u, node := range nodes {
+			switch a := node.Act(round); a {
+			case Transmit:
+				tx[u] = true
+				count++
+				solo = u
+			case Listen:
+				tx[u] = false
+			default:
+				return Result{}, fmt.Errorf("sim: node %d returned invalid action %d", u, a)
+			}
+		}
+		transmissions += int64(count)
+		ch.Deliver(tx, recv)
+		if cfg.Tracer != nil {
+			cfg.Tracer.OnRound(round, nodes, tx, recv)
+		}
+		if count == 1 {
+			return Result{Solved: true, Rounds: round, Winner: solo, Transmissions: transmissions}, nil
+		}
+		detect := Unknown
+		if cfg.CollisionDetection {
+			switch {
+			case count == 0:
+				detect = Silence
+			case count == 1:
+				detect = Message
+			default:
+				detect = Collision
+			}
+		}
+		for u, node := range nodes {
+			node.Hear(round, recv[u], detect)
+		}
+	}
+	return Result{Solved: false, Rounds: cfg.MaxRounds, Winner: -1, Transmissions: transmissions}, nil
+}

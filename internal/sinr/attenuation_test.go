@@ -1,0 +1,59 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestAttenuationMatchesPow: every fast path agrees with math.Pow to within
+// a few ulps across the distance range the simulator uses.
+func TestAttenuationMatchesPow(t *testing.T) {
+	f := func(dRaw uint32, pick uint8) bool {
+		d2 := 1e-6 + float64(dRaw)/1e3 // (0, ~4.3e6]
+		alphas := []float64{2, 3, 4, 6, 2.5, 3.7}
+		alpha := alphas[int(pick)%len(alphas)]
+		got := attenuation(d2, alpha)
+		want := math.Pow(d2, -alpha/2)
+		return math.Abs(got-want) <= 1e-12*math.Max(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttenuationKnownValues(t *testing.T) {
+	cases := []struct {
+		d2, alpha, want float64
+	}{
+		{4, 2, 0.25},     // d=2, α=2 → 1/4
+		{4, 3, 0.125},    // d=2, α=3 → 1/8
+		{4, 4, 1.0 / 16}, // d=2, α=4 → 1/16
+		{4, 6, 1.0 / 64}, // d=2, α=6 → 1/64
+		{1, 3, 1},        // unit distance
+		{0.25, 2, 4},     // d=0.5, α=2 → 4
+	}
+	for _, c := range cases {
+		if got := attenuation(c.d2, c.alpha); math.Abs(got-c.want) > 1e-12*c.want {
+			t.Errorf("attenuation(%v, %v) = %v, want %v", c.d2, c.alpha, got, c.want)
+		}
+	}
+}
+
+// BenchmarkAttenuation quantifies the fast-path win.
+func BenchmarkAttenuation(b *testing.B) {
+	b.Run("fast-alpha3", func(b *testing.B) {
+		sum := 0.0
+		for i := 0; i < b.N; i++ {
+			sum += attenuation(float64(i%1000)+1, 3)
+		}
+		_ = sum
+	})
+	b.Run("pow-alpha3.1", func(b *testing.B) {
+		sum := 0.0
+		for i := 0; i < b.N; i++ {
+			sum += attenuation(float64(i%1000)+1, 3.1)
+		}
+		_ = sum
+	})
+}

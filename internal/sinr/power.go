@@ -1,0 +1,93 @@
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fadingcr/internal/geom"
+)
+
+// PowerChannel is an SINR channel in which each node transmits at its own
+// fixed power. The paper's results are for the uniform-power model ("we
+// study randomized algorithms using a fixed transmission power"); this
+// channel exists so the repository can also exercise the power-control
+// regime the related work ([11]) discusses, and so tests can probe how
+// sensitive the algorithm is to power heterogeneity (e.g. hardware spread).
+type PowerChannel struct {
+	params Params // Power field unused per-node; kept for α, β, N
+	powers []float64
+	pts    []geom.Point
+}
+
+// NewWithPowers builds a per-node-power channel. powers[u] is node u's
+// transmission power; all must be positive and finite. The Power field of
+// params is ignored.
+func NewWithPowers(params Params, pts []geom.Point, powers []float64) (*PowerChannel, error) {
+	probe := params
+	probe.Power = 1 // validate the shared constants independently of Power
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("sinr: channel needs at least one node")
+	}
+	if len(powers) != len(pts) {
+		return nil, fmt.Errorf("sinr: %d powers for %d nodes", len(powers), len(pts))
+	}
+	for u, p := range powers {
+		if !(p > 0) || math.IsInf(p, 1) {
+			return nil, fmt.Errorf("sinr: node %d power %v must be positive and finite", u, p)
+		}
+	}
+	cpPts := make([]geom.Point, len(pts))
+	copy(cpPts, pts)
+	cpPow := make([]float64, len(powers))
+	copy(cpPow, powers)
+	return &PowerChannel{params: params, powers: cpPow, pts: cpPts}, nil
+}
+
+// N returns the number of nodes on the channel.
+func (c *PowerChannel) N() int { return len(c.pts) }
+
+// Powers returns a copy of the per-node power assignment.
+func (c *PowerChannel) Powers() []float64 {
+	return append([]float64(nil), c.powers...)
+}
+
+// Deliver computes one round of reception; the contract matches
+// Channel.Deliver.
+func (c *PowerChannel) Deliver(tx []bool, recv []int) {
+	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
+		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
+	}
+	txList := txIndices(tx)
+	for v := range c.pts {
+		recv[v] = -1
+		if tx[v] || len(txList) == 0 {
+			continue
+		}
+		best, bestU, total := -1.0, -1, 0.0
+		for _, u := range txList {
+			s := c.powers[u] * attenuation(c.pts[u].Dist2(c.pts[v]), c.params.Alpha)
+			total += s
+			if s > best {
+				best, bestU = s, u
+			}
+		}
+		if c.params.SINR(best, total-best) >= c.params.Beta {
+			recv[v] = bestU
+		}
+	}
+}
+
+// UniformPowers returns a power vector assigning the same power to all n
+// nodes — NewWithPowers(params, pts, UniformPowers(n, P)) behaves exactly
+// like New(params with Power P, pts).
+func UniformPowers(n int, power float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = power
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/xrand"
+)
+
+// TestScaleInvarianceProperty: the SINR equation is scale-free — scaling all
+// distances by s and the power by s^α leaves every reception decision
+// unchanged. This is the physical identity that lets the paper normalise the
+// shortest link to 1 without loss of generality.
+func TestScaleInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, sRaw uint8, txSeed uint64) bool {
+		n := 2 + int(nRaw%20)
+		s := 1.5 + float64(sRaw%10)
+		d, err := geom.UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		scaled := make([]geom.Point, n)
+		for i, p := range d.Points {
+			scaled[i] = p.Scale(s)
+		}
+		const alpha = 3.0
+		base := Params{Alpha: alpha, Beta: 1.5, Noise: 0.25, Power: 1000}
+		big := base
+		big.Power = base.Power * math.Pow(s, alpha)
+
+		chA, err := New(base, d.Points)
+		if err != nil {
+			return false
+		}
+		chB, err := New(big, scaled)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(txSeed)
+		tx := make([]bool, n)
+		for i := range tx {
+			tx[i] = rng.Float64() < 0.3
+		}
+		ra := make([]int, n)
+		rb := make([]int, n)
+		chA.Deliver(tx, ra)
+		chB.Deliver(tx, rb)
+		for v := range ra {
+			if ra[v] != rb[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBetaMonotonicityProperty: raising the decoding threshold β never adds
+// a receivable transmitter at any listener.
+func TestBetaMonotonicityProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, txSeed uint64, bumpRaw uint8) bool {
+		n := 2 + int(nRaw%20)
+		d, err := geom.UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		lo := Params{Alpha: 3, Beta: 0.4, Noise: 0.1, Power: 100}
+		hi := lo
+		hi.Beta = lo.Beta + 0.1 + float64(bumpRaw)/64
+		chLo, err := New(lo, d.Points)
+		if err != nil {
+			return false
+		}
+		chHi, err := New(hi, d.Points)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(txSeed)
+		tx := make([]bool, n)
+		for i := range tx {
+			tx[i] = rng.Float64() < 0.4
+		}
+		for v := range tx {
+			if tx[v] {
+				continue
+			}
+			loSet := map[int]bool{}
+			for _, u := range chLo.Receivable(tx, v) {
+				loSet[u] = true
+			}
+			for _, u := range chHi.Receivable(tx, v) {
+				if !loSet[u] {
+					return false // decodable at high β but not at low β
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPowerMonotonicityForSoloTransmitter: with a single transmitter and no
+// interference, raising the power never loses a reception.
+func TestPowerMonotonicityForSoloTransmitter(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, factorRaw uint8) bool {
+		n := 2 + int(nRaw%15)
+		d, err := geom.UniformDisk(seed, n)
+		if err != nil {
+			return false
+		}
+		lo := Params{Alpha: 3, Beta: 2, Noise: 1, Power: 50}
+		hi := lo
+		hi.Power = lo.Power * (1 + float64(factorRaw%16))
+		chLo, _ := New(lo, d.Points)
+		chHi, _ := New(hi, d.Points)
+		tx := make([]bool, n)
+		tx[0] = true
+		ra := make([]int, n)
+		rb := make([]int, n)
+		chLo.Deliver(tx, ra)
+		chHi.Deliver(tx, rb)
+		for v := range ra {
+			if ra[v] == 0 && rb[v] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleHopPowerGuaranteesIsolatedDelivery: with the derived single-hop
+// power, every solo transmission is decoded by every listener — the defining
+// property of a single-hop network.
+func TestSingleHopPowerGuaranteesIsolatedDelivery(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		d, err := geom.UniformDisk(seed, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Alpha: 3, Beta: 1.5, Noise: 1}
+		p.Power = MinSingleHopPower(p.Alpha, p.Beta, p.Noise, d.R, DefaultSingleHopMargin)
+		ch, err := New(p, d.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := make([]bool, 40)
+		recv := make([]int, 40)
+		for u := 0; u < 40; u += 7 {
+			for i := range tx {
+				tx[i] = i == u
+			}
+			ch.Deliver(tx, recv)
+			for v := range recv {
+				if v == u {
+					continue
+				}
+				if recv[v] != u {
+					t.Fatalf("seed %d: listener %d missed solo transmitter %d", seed, v, u)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package sinr implements the paper's fading channel: reception is governed
+// by the signal-to-interference-and-noise-ratio equation (Equation 1 of
+// Section 2). A listening node v receives a message from transmitter u, in a
+// round where the nodes of I also transmit, iff
+//
+//	SINR(u, v, I) = (P/d(u,v)^α) / (N + Σ_{w∈I} P/d(w,v)^α) ≥ β,
+//
+// where P is the fixed transmission power, α > 2 the path-loss exponent,
+// N ≥ 0 the ambient noise, and β the decoding threshold.
+//
+// The package provides the deterministic geometric-fading channel of the
+// paper plus an optional Rayleigh-faded extension (per-round exponential
+// signal scaling) used by robustness experiments.
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fadingcr/internal/geom"
+)
+
+// DefaultSingleHopMargin is the paper's constant c in the single-hop
+// condition P > c·β·N·d(u,v)^α; Section 2 notes c ≥ 4 suffices.
+const DefaultSingleHopMargin = 4
+
+// Params collects the physical-layer constants of the SINR equation.
+type Params struct {
+	// Alpha is the path-loss exponent. The paper's analysis requires
+	// Alpha > 2; the simulator accepts any Alpha > 0 so experiments can
+	// probe the α → 2 degradation.
+	Alpha float64
+	// Beta is the SINR decoding threshold β > 0. With Beta ≥ 1 at most one
+	// transmitter can be decoded by any listener in a round.
+	Beta float64
+	// Noise is the ambient noise N ≥ 0.
+	Noise float64
+	// Power is the fixed transmission power P > 0 shared by all nodes.
+	Power float64
+}
+
+// Validate reports whether the parameters are usable by the channel.
+func (p Params) Validate() error {
+	switch {
+	case !(p.Alpha > 0) || math.IsInf(p.Alpha, 1):
+		return fmt.Errorf("sinr: alpha %v must be positive and finite", p.Alpha)
+	case !(p.Beta > 0) || math.IsInf(p.Beta, 1):
+		return fmt.Errorf("sinr: beta %v must be positive and finite", p.Beta)
+	case p.Noise < 0 || math.IsNaN(p.Noise) || math.IsInf(p.Noise, 1):
+		return fmt.Errorf("sinr: noise %v must be in [0, ∞)", p.Noise)
+	case !(p.Power > 0) || math.IsInf(p.Power, 1):
+		return fmt.Errorf("sinr: power %v must be positive and finite", p.Power)
+	}
+	return nil
+}
+
+// Signal returns the received signal strength P/d^α of a transmission over
+// distance d > 0.
+func (p Params) Signal(d float64) float64 {
+	return p.Power * math.Pow(d, -p.Alpha)
+}
+
+// signalFromDist2 is Signal computed from a squared distance, saving a sqrt.
+func (p Params) signalFromDist2(d2 float64) float64 {
+	return p.Power * attenuation(d2, p.Alpha)
+}
+
+// attenuation returns d2^{-α/2} = d^{-α} with fast paths for the common
+// path-loss exponents (α ∈ {2, 3, 4, 6}); the SINR delivery loop spends
+// essentially all its time here, and the fast paths are ~5× cheaper than
+// math.Pow.
+func attenuation(d2, alpha float64) float64 {
+	switch alpha {
+	case 2:
+		return 1 / d2
+	case 3:
+		return 1 / (d2 * math.Sqrt(d2))
+	case 4:
+		return 1 / (d2 * d2)
+	case 6:
+		return 1 / (d2 * d2 * d2)
+	default:
+		return math.Pow(d2, -alpha/2)
+	}
+}
+
+// SINR returns the ratio signal/(Noise + interference).
+func (p Params) SINR(signal, interference float64) float64 {
+	return signal / (p.Noise + interference)
+}
+
+// MinSingleHopPower returns the smallest power satisfying the paper's
+// single-hop condition P > margin·β·N·maxDist^α with a small head-room
+// factor, so that every node pair can communicate in the absence of
+// interference with a constant-factor SINR margin. For N = 0 the condition
+// is vacuous and the function returns 1.
+func MinSingleHopPower(alpha, beta, noise, maxDist, margin float64) float64 {
+	if noise == 0 {
+		return 1
+	}
+	return margin * beta * noise * math.Pow(maxDist, alpha) * 1.01
+}
+
+// SingleHopFeasible reports whether the parameters satisfy the single-hop
+// condition P > margin·β·N·maxDist^α for the given maximum link length.
+func (p Params) SingleHopFeasible(maxDist, margin float64) bool {
+	return p.Power > margin*p.Beta*p.Noise*math.Pow(maxDist, p.Alpha)
+}
+
+// Channel is the deterministic SINR channel over a fixed deployment. It is
+// not safe for concurrent use; create one channel per goroutine.
+type Channel struct {
+	params Params
+	pts    []geom.Point
+}
+
+// New builds a channel for the given parameters and node positions. It
+// returns an error if the parameters are invalid or fewer than one node is
+// given.
+func New(params Params, pts []geom.Point) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("sinr: channel needs at least one node")
+	}
+	cp := make([]geom.Point, len(pts))
+	copy(cp, pts)
+	return &Channel{params: params, pts: cp}, nil
+}
+
+// N returns the number of nodes on the channel.
+func (c *Channel) N() int { return len(c.pts) }
+
+// Params returns the channel's physical-layer parameters.
+func (c *Channel) Params() Params { return c.params }
+
+// Deliver computes one round of reception. tx[u] reports whether node u
+// transmits this round; recv must have length N and is filled so that
+// recv[v] is the index of the transmitter whose message v received, or −1 if
+// v received nothing (transmitters always have recv[v] = −1: a node cannot
+// listen while transmitting). When Beta < 1 several transmitters may clear
+// the SINR threshold at one listener; the channel then delivers the
+// strongest.
+func (c *Channel) Deliver(tx []bool, recv []int) {
+	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
+		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
+	}
+	txList := txIndices(tx)
+	for v := range c.pts {
+		recv[v] = -1
+		if tx[v] || len(txList) == 0 {
+			continue
+		}
+		best, bestU, total := -1.0, -1, 0.0
+		for _, u := range txList {
+			s := c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+			total += s
+			if s > best {
+				best, bestU = s, u
+			}
+		}
+		// Interference for the strongest candidate excludes its own signal.
+		if c.params.SINR(best, total-best) >= c.params.Beta {
+			recv[v] = bestU
+		}
+	}
+}
+
+// Receivable returns every transmitter whose SINR at listener v clears the
+// threshold (useful with Beta < 1, where more than one can). It returns nil
+// when v itself transmits.
+func (c *Channel) Receivable(tx []bool, v int) []int {
+	if tx[v] {
+		return nil
+	}
+	txList := txIndices(tx)
+	signals := make([]float64, len(txList))
+	total := 0.0
+	for i, u := range txList {
+		signals[i] = c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+		total += signals[i]
+	}
+	var out []int
+	for i, u := range txList {
+		if c.params.SINR(signals[i], total-signals[i]) >= c.params.Beta {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// InterferenceAt returns Σ_{u ∈ tx} P/d(u,v)^α, the total signal energy
+// arriving at node v from the given transmitter set (including v's own
+// signal if v transmits).
+func (c *Channel) InterferenceAt(tx []bool, v int) float64 {
+	total := 0.0
+	for u := range c.pts {
+		if !tx[u] || u == v {
+			continue
+		}
+		total += c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+	}
+	return total
+}
+
+func txIndices(tx []bool) []int {
+	var out []int
+	for u, t := range tx {
+		if t {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package stats provides the statistical toolkit used by the experiment
+// harness: summaries, quantiles, confidence intervals (normal-approximation
+// and bootstrap), ordinary least squares, and the log-model comparison used
+// to discriminate Θ(log n) from Θ(log² n) growth in the reproduction
+// experiments.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fadingcr/internal/xrand"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It returns an error for an
+// empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	return s, nil
+}
+
+// Quantile returns the q-th quantile (q ∈ [0, 1]) of an ascending-sorted
+// sample using linear interpolation between order statistics. It panics on
+// an empty sample (a programming error in harness code).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// QuantileOf sorts a copy of the sample and returns its q-th quantile.
+func QuantileOf(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, q)
+}
+
+// MeanCI returns the normal-approximation confidence interval
+// mean ± z·std/√n. Use z = 1.96 for 95%.
+func MeanCI(xs []float64, z float64) (lo, hi float64, err error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := z * s.Std / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half, nil
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for an
+// arbitrary statistic at the given level (e.g. 0.95), using iters resamples
+// driven by seed.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, iters int, seed uint64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, errors.New("stats: empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: level %v outside (0, 1)", level)
+	}
+	if iters < 2 {
+		return 0, 0, fmt.Errorf("stats: iters %d must be ≥ 2", iters)
+	}
+	rng := xrand.New(seed)
+	resample := make([]float64, len(xs))
+	vals := make([]float64, iters)
+	for i := range vals {
+		for j := range resample {
+			resample[j] = xs[rng.IntN(len(xs))]
+		}
+		vals[i] = stat(resample)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}
+
+// Mean is a convenience statistic for BootstrapCI.
+func Mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median is a convenience statistic for BootstrapCI.
+func Median(xs []float64) float64 { return QuantileOf(xs, 0.5) }
+
+// Fit is an ordinary least squares fit y ≈ A + B·x.
+type Fit struct {
+	A, B float64
+	// R2 is the coefficient of determination in [−∞, 1]; 1 is a perfect
+	// fit. (Negative values are possible for fits worse than the mean.)
+	R2 float64
+	// RMSE is the root mean squared residual.
+	RMSE float64
+}
+
+// String implements fmt.Stringer.
+func (f Fit) String() string {
+	return fmt.Sprintf("y = %.4g + %.4g·x (R²=%.4f, RMSE=%.4g)", f.A, f.B, f.R2, f.RMSE)
+}
+
+// Predict evaluates the fitted line at x.
+func (f Fit) Predict(x float64) float64 { return f.A + f.B*x }
+
+// LinearFit computes the least squares line through (xs[i], ys[i]). It
+// returns an error when fewer than two points are given or all xs coincide.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, errors.New("stats: need at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: degenerate x values")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - (a + b*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	fit := Fit{A: a, B: b, RMSE: math.Sqrt(ssRes / n)}
+	if ssTot == 0 {
+		fit.R2 = 1 // constant y perfectly explained by a horizontal line
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// GrowthComparison fits the two competing growth models of the headline
+// experiment to (n, rounds) data:
+//
+//	rounds ≈ a + b·log₂(n)    (Theorem 1's shape), and
+//	rounds ≈ a + b·log₂²(n)   (the classical radio-network shape),
+//
+// and reports both fits. The winner is the model with the lower RMSE.
+type GrowthComparison struct {
+	Log  Fit // rounds vs log₂ n
+	Log2 Fit // rounds vs log₂² n
+}
+
+// LogWins reports whether the Θ(log n) model explains the data at least as
+// well as the Θ(log² n) model.
+func (g GrowthComparison) LogWins() bool { return g.Log.RMSE <= g.Log2.RMSE }
+
+// CompareGrowth runs the two fits. ns must all be ≥ 2.
+func CompareGrowth(ns []int, rounds []float64) (GrowthComparison, error) {
+	if len(ns) != len(rounds) {
+		return GrowthComparison{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(ns), len(rounds))
+	}
+	logs := make([]float64, len(ns))
+	logs2 := make([]float64, len(ns))
+	for i, n := range ns {
+		if n < 2 {
+			return GrowthComparison{}, fmt.Errorf("stats: n = %d must be ≥ 2", n)
+		}
+		l := math.Log2(float64(n))
+		logs[i] = l
+		logs2[i] = l * l
+	}
+	fitLog, err := LinearFit(logs, rounds)
+	if err != nil {
+		return GrowthComparison{}, fmt.Errorf("log fit: %w", err)
+	}
+	fitLog2, err := LinearFit(logs2, rounds)
+	if err != nil {
+		return GrowthComparison{}, fmt.Errorf("log² fit: %w", err)
+	}
+	return GrowthComparison{Log: fitLog, Log2: fitLog2}, nil
+}
+
+// Histogram bins the sample into equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of bins ≥ 1. The
+// maximum value lands in the last bin.
+func NewHistogram(xs []float64, bins int) (Histogram, error) {
+	if len(xs) == 0 {
+		return Histogram{}, errors.New("stats: empty sample")
+	}
+	if bins < 1 {
+		return Histogram{}, fmt.Errorf("stats: bins %d must be ≥ 1", bins)
+	}
+	h := Histogram{Min: math.Inf(1), Max: math.Inf(-1), Counts: make([]int, bins)}
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, x := range xs {
+		var idx int
+		if width == 0 {
+			idx = 0
+		} else {
+			idx = int((x - h.Min) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// KolmogorovSmirnov returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) − F_b(x)|, the maximum gap between the two empirical
+// CDFs. D = 0 iff the samples induce identical empirical distributions.
+// Used by experiment E15 to quantify the two-player embedding's exactness.
+func KolmogorovSmirnov(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(as) && j < len(bs) {
+		// Advance over ties in lockstep so the CDF gap is evaluated after
+		// each distinct value.
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,397 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fadingcr/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample std with n−1: Σ(x−5)² = 32, 32/7 ≈ 4.571, √ ≈ 2.138.
+	if !almost(s.Std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileOfUnsorted(t *testing.T) {
+	if got := QuantileOf([]float64{5, 1, 3}, 0.5); got != 3 {
+		t.Errorf("QuantileOf = %v, want 3", got)
+	}
+}
+
+// TestQuantileMonotoneProperty: quantiles are monotone in q and bounded by
+// the sample extremes.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e6)
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a := QuantileOf(xs, q1)
+		b := QuantileOf(xs, q2)
+		lo := QuantileOf(xs, 0)
+		hi := QuantileOf(xs, 1)
+		return a <= b && lo <= a && b <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	lo, hi, err := MeanCI([]float64{1, 2, 3, 4, 5}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 3 || hi <= 3 {
+		t.Errorf("CI [%v, %v] does not bracket the mean 3", lo, hi)
+	}
+	if _, _, err := MeanCI(nil, 1.96); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestBootstrapCIBracketsTruth(t *testing.T) {
+	rng := xrand.New(8)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 0.95, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("bootstrap CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("bootstrap CI [%v, %v] implausibly wide for n=400", lo, hi)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, _, err := BootstrapCI(nil, Mean, 0.95, 10, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 0, 10, 1); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 1, 10, 1); err == nil {
+		t.Error("level 1 accepted")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 0.95, 1, 1); err == nil {
+		t.Error("iters 1 accepted")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	lo1, hi1, _ := BootstrapCI(xs, Median, 0.9, 200, 42)
+	lo2, hi2, _ := BootstrapCI(xs, Median, 0.9, 200, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("bootstrap not deterministic for equal seeds")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9, 11}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 3, 1e-9) || !almost(fit.B, 2, 1e-9) {
+		t.Errorf("fit = %+v, want a=3 b=2", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) || !almost(fit.RMSE, 0, 1e-9) {
+		t.Errorf("R²=%v RMSE=%v, want 1 and 0", fit.R2, fit.RMSE)
+	}
+	if got := fit.Predict(10); !almost(got, 23, 1e-9) {
+		t.Errorf("Predict(10) = %v, want 23", got)
+	}
+	if fit.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestLinearFitRecoversPlantedCoefficients(t *testing.T) {
+	rng := xrand.New(77)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 20
+		xs = append(xs, x)
+		ys = append(ys, 1.5+0.75*x+rng.NormFloat64()*0.2)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.A, 1.5, 0.1) || !almost(fit.B, 0.75, 0.02) {
+		t.Errorf("fit = %+v, want ≈ (1.5, 0.75)", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %v, want near 1", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.B, 0, 1e-12) || !almost(fit.R2, 1, 1e-12) {
+		t.Errorf("constant-y fit = %+v", fit)
+	}
+}
+
+func TestCompareGrowthPicksRightModel(t *testing.T) {
+	ns := []int{16, 32, 64, 128, 256, 512, 1024}
+	// Planted Θ(log n): rounds = 5 + 3·log₂ n.
+	var linear []float64
+	for _, n := range ns {
+		linear = append(linear, 5+3*math.Log2(float64(n)))
+	}
+	g, err := CompareGrowth(ns, linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.LogWins() {
+		t.Errorf("log model should win on planted log data: %+v", g)
+	}
+	if !almost(g.Log.B, 3, 1e-9) {
+		t.Errorf("log fit slope = %v, want 3", g.Log.B)
+	}
+	// Planted Θ(log² n): rounds = 2 + 0.9·log₂² n.
+	var quad []float64
+	for _, n := range ns {
+		l := math.Log2(float64(n))
+		quad = append(quad, 2+0.9*l*l)
+	}
+	g, err = CompareGrowth(ns, quad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LogWins() {
+		t.Errorf("log² model should win on planted log² data: log RMSE %v vs log² RMSE %v", g.Log.RMSE, g.Log2.RMSE)
+	}
+}
+
+func TestCompareGrowthValidation(t *testing.T) {
+	if _, err := CompareGrowth([]int{2, 4}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := CompareGrowth([]int{1, 4}, []float64{1, 2}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min != 0 || h.Max != 10 {
+		t.Errorf("range [%v, %v]", h.Min, h.Max)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 11 {
+		t.Errorf("counts sum to %d, want 11", total)
+	}
+	// Max value must land in the last bin, not overflow.
+	if h.Counts[4] == 0 {
+		t.Error("last bin empty; max mis-binned")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("constant sample: counts = %v", h.Counts)
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+}
+
+// TestHistogramTotalProperty: counts always sum to the sample size.
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e4)
+		}
+		bins := 1 + int(binsRaw%16)
+		h, err := NewHistogram(xs, bins)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	xs := []float64{1, 2, 2, 3, 10}
+	d, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("D(identical) = %v, want 0", d)
+	}
+}
+
+func TestKolmogorovSmirnovDisjoint(t *testing.T) {
+	d, err := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("D(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestKolmogorovSmirnovKnownValue(t *testing.T) {
+	// F_a steps at 1, 2; F_b steps at 2, 3. After x=1: |1/2 − 0| = 1/2.
+	d, err := KolmogorovSmirnov([]float64{1, 2}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d, 0.5, 1e-12) {
+		t.Errorf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKolmogorovSmirnovErrorsAndBounds(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty a accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err == nil {
+		t.Error("empty b accepted")
+	}
+	f := func(raw1, raw2 []float64) bool {
+		if len(raw1) == 0 || len(raw2) == 0 {
+			return true
+		}
+		clamp := func(xs []float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, x := range xs {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					x = 0
+				}
+				out[i] = math.Mod(x, 1e5)
+			}
+			return out
+		}
+		a, b := clamp(raw1), clamp(raw2)
+		d, err := KolmogorovSmirnov(a, b)
+		if err != nil {
+			return false
+		}
+		dRev, err := KolmogorovSmirnov(b, a)
+		if err != nil {
+			return false
+		}
+		return d >= 0 && d <= 1 && almost(d, dRev, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

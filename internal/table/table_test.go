@@ -1,0 +1,74 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRendering(t *testing.T) {
+	tab := New("Demo", "n", "rounds")
+	tab.AddRow("16", "12")
+	tab.AddRow("1024", "30")
+	got := tab.Text()
+	for _, want := range []string{"Demo", "n", "rounds", "16", "1024", "30"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Text missing %q:\n%s", want, got)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), got)
+	}
+	// Columns align: "1024" forces the first column to width 4.
+	if !strings.HasPrefix(lines[4], "16  ") && !strings.HasPrefix(lines[4], "16 ") {
+		t.Errorf("row not aligned: %q", lines[4])
+	}
+}
+
+func TestTextWithoutTitle(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow("1")
+	got := tab.Text()
+	if strings.HasPrefix(got, "\n") {
+		t.Errorf("leading newline without title:\n%q", got)
+	}
+	if lines := strings.Split(strings.TrimRight(got, "\n"), "\n"); len(lines) != 3 {
+		t.Errorf("got %d lines, want 3", len(lines))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := New("T", "x", "y")
+	tab.AddRow("1", "2")
+	got := tab.Markdown()
+	for _, want := range []string{"### T", "| x | y |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3")
+	if got := tab.Rows[0]; got[1] != "" {
+		t.Errorf("short row not padded: %v", got)
+	}
+	if got := tab.Rows[1]; len(got) != 2 {
+		t.Errorf("long row not truncated: %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Int(42); got != "42" {
+		t.Errorf("Int = %q", got)
+	}
+	if got := Float(3.14159, 2); got != "3.14" {
+		t.Errorf("Float = %q", got)
+	}
+	if got := Sci(12345.678, 2); got != "1.23e+04" {
+		t.Errorf("Sci = %q", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package trace records per-round execution events and serialises analysis
+// data to CSV for offline inspection.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fadingcr/internal/core"
+	"fadingcr/internal/sim"
+)
+
+// Event is the per-round record captured by Recorder.
+type Event struct {
+	// Round is the 1-based round index.
+	Round int
+	// Transmitters is the number of nodes that transmitted.
+	Transmitters int
+	// Receptions is the number of listeners that decoded a message.
+	Receptions int
+	// Active is the number of nodes reporting themselves active (via the
+	// core.Activeness interface) entering the round; −1 when the protocol's
+	// nodes do not expose activity.
+	Active int
+}
+
+// Recorder is a lightweight sim.Tracer capturing one Event per round.
+type Recorder struct {
+	Events []Event
+}
+
+var _ sim.Tracer = (*Recorder)(nil)
+
+// OnRound implements sim.Tracer.
+func (r *Recorder) OnRound(round int, nodes []sim.Node, tx []bool, recv []int) {
+	e := Event{Round: round, Active: -1}
+	for _, t := range tx {
+		if t {
+			e.Transmitters++
+		}
+	}
+	for _, from := range recv {
+		if from >= 0 {
+			e.Receptions++
+		}
+	}
+	active, any := 0, false
+	for _, node := range nodes {
+		if a, ok := node.(core.Activeness); ok {
+			any = true
+			if a.Active() {
+				active++
+			}
+		}
+	}
+	if any {
+		e.Active = active
+	}
+	r.Events = append(r.Events, e)
+}
+
+// WriteCSV writes the recorded events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "transmitters", "receptions", "active"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, e := range r.Events {
+		row := []string{
+			strconv.Itoa(e.Round),
+			strconv.Itoa(e.Transmitters),
+			strconv.Itoa(e.Receptions),
+			strconv.Itoa(e.Active),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSnapshotsCSV serialises an analyzer's per-round snapshots: one row
+// per (round, class) pair plus the per-round aggregates.
+func WriteSnapshotsCSV(w io.Writer, snaps []core.Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "active", "transmitters", "knockouts", "class", "size", "good"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, s := range snaps {
+		if len(s.ClassSizes) == 0 {
+			if err := cw.Write([]string{
+				strconv.Itoa(s.Round), strconv.Itoa(s.Active),
+				strconv.Itoa(s.Transmitters), strconv.Itoa(s.Knockouts),
+				"-1", "0", "",
+			}); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+			continue
+		}
+		for i, size := range s.ClassSizes {
+			good := ""
+			if s.GoodPerClass != nil {
+				good = strconv.Itoa(s.GoodPerClass[i])
+			}
+			if err := cw.Write([]string{
+				strconv.Itoa(s.Round), strconv.Itoa(s.Active),
+				strconv.Itoa(s.Transmitters), strconv.Itoa(s.Knockouts),
+				strconv.Itoa(i), strconv.Itoa(size), good,
+			}); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/core"
+	"fadingcr/internal/geom"
+	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
+)
+
+func runTraced(t *testing.T) (*Recorder, sim.Result) {
+	t.Helper()
+	d, err := geom.UniformDisk(3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+	ch, err := sinr.New(params, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	res, err := sim.Run(ch, core.FixedProbability{}, 7, sim.Config{MaxRounds: 2000, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderCapturesRounds(t *testing.T) {
+	rec, res := runTraced(t)
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	if len(rec.Events) != res.Rounds {
+		t.Fatalf("events = %d, want %d", len(rec.Events), res.Rounds)
+	}
+	var totalTx int64
+	for i, e := range rec.Events {
+		if e.Round != i+1 {
+			t.Errorf("event %d has round %d", i, e.Round)
+		}
+		if e.Active < 0 {
+			t.Errorf("round %d: active = %d, want ≥ 0 for core nodes", e.Round, e.Active)
+		}
+		totalTx += int64(e.Transmitters)
+	}
+	if totalTx != res.Transmissions {
+		t.Errorf("traced transmissions %d != result %d", totalTx, res.Transmissions)
+	}
+	if last := rec.Events[len(rec.Events)-1]; last.Transmitters != 1 {
+		t.Errorf("solving round transmitters = %d, want 1", last.Transmitters)
+	}
+}
+
+func TestRecorderWithoutActivenessNodes(t *testing.T) {
+	rec := &Recorder{}
+	rec.OnRound(1, []sim.Node{opaque{}, opaque{}}, []bool{true, false}, []int{-1, 0})
+	e := rec.Events[0]
+	if e.Active != -1 {
+		t.Errorf("Active = %d, want -1 for opaque nodes", e.Active)
+	}
+	if e.Transmitters != 1 || e.Receptions != 1 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+type opaque struct{}
+
+func (opaque) Act(int) sim.Action          { return sim.Listen }
+func (opaque) Hear(int, int, sim.Feedback) {}
+
+func TestWriteCSV(t *testing.T) {
+	rec, _ := runTraced(t)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "round,transmitters,receptions,active" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != len(rec.Events)+1 {
+		t.Errorf("lines = %d, want %d", len(lines), len(rec.Events)+1)
+	}
+}
+
+func TestWriteSnapshotsCSV(t *testing.T) {
+	snaps := []core.Snapshot{
+		{Round: 1, Active: 4, Transmitters: 2, Knockouts: 1, ClassSizes: []int{3, 1}, GoodPerClass: []int{3, 0}},
+		{Round: 2, Active: 3, Transmitters: 1, Knockouts: 0, ClassSizes: nil},
+	}
+	var b strings.Builder
+	if err := WriteSnapshotsCSV(&b, snaps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header + 2 class rows for round 1 + 1 placeholder row for round 2.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != "1,4,2,1,0,3,3" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[3] != "2,3,1,0,-1,0," {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+// failWriter errors after a fixed number of bytes, exercising the CSV error
+// paths.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+	}
+	w.budget -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = errors.New("write failed")
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	rec := &Recorder{Events: []Event{{Round: 1, Transmitters: 1, Receptions: 0, Active: 2}}}
+	if err := rec.WriteCSV(&failWriter{budget: 0}); err == nil {
+		t.Error("header write failure not propagated")
+	}
+	if err := rec.WriteCSV(&failWriter{budget: 40}); err == nil {
+		t.Error("row write failure not propagated")
+	}
+}
+
+func TestWriteSnapshotsCSVPropagatesWriterErrors(t *testing.T) {
+	snaps := []core.Snapshot{
+		{Round: 1, Active: 2, ClassSizes: []int{2}},
+		{Round: 2, Active: 1, ClassSizes: nil},
+	}
+	if err := WriteSnapshotsCSV(&failWriter{budget: 0}, snaps); err == nil {
+		t.Error("header write failure not propagated")
+	}
+	if err := WriteSnapshotsCSV(&failWriter{budget: 60}, snaps); err == nil {
+		t.Error("row write failure not propagated")
+	}
+}

@@ -1,0 +1,133 @@
+// Package viz renders deployments and execution traces as ASCII art for the
+// CLIs: a scatter view of node positions (with active/inactive marks) and
+// bar/sparkline views of per-round series. Pure text, no terminal control
+// codes — output is pipe- and log-friendly.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fadingcr/internal/geom"
+)
+
+// Scatter renders node positions into a width×height character grid.
+// active[u] selects the glyph: '●' for active nodes, '·' for inactive; a
+// cell holding several nodes shows the count (capped at '9', then '+'). A
+// nil active slice marks every node active.
+func Scatter(pts []geom.Point, active []bool, width, height int) string {
+	if len(pts) == 0 || width < 1 || height < 1 {
+		return ""
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	type cell struct {
+		count  int
+		active bool
+	}
+	grid := make([]cell, width*height)
+	for u, p := range pts {
+		col := int((p.X - minX) / spanX * float64(width-1))
+		row := int((p.Y - minY) / spanY * float64(height-1))
+		c := &grid[row*width+col]
+		c.count++
+		if active == nil || active[u] {
+			c.active = true
+		}
+	}
+	var b strings.Builder
+	// Render top row last so the y axis points up.
+	for row := height - 1; row >= 0; row-- {
+		for col := 0; col < width; col++ {
+			c := grid[row*width+col]
+			switch {
+			case c.count == 0:
+				b.WriteByte(' ')
+			case c.count == 1 && c.active:
+				b.WriteRune('●')
+			case c.count == 1:
+				b.WriteRune('·')
+			case c.count <= 9:
+				b.WriteByte(byte('0' + c.count))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bars renders an integer series as a horizontal bar chart, one row per
+// value, scaled to maxWidth characters. Labels carry the row names; len
+// mismatches are truncated to the shorter.
+func Bars(labels []string, values []int, maxWidth int) string {
+	n := len(labels)
+	if len(values) < n {
+		n = len(values)
+	}
+	if n == 0 || maxWidth < 1 {
+		return ""
+	}
+	maxV := 1
+	labelW := 0
+	for i := 0; i < n; i++ {
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		bar := values[i] * maxWidth / maxV
+		if values[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %d\n", labelW, labels[i], strings.Repeat("█", bar), values[i])
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block heights of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a one-line sparkline scaled to its own
+// range. An empty series renders as an empty string.
+func Sparkline(values []int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = (v - minV) * (len(sparkGlyphs) - 1) / span
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"fadingcr/internal/geom"
+)
+
+func TestScatterBasic(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	got := Scatter(pts, nil, 11, 11)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines, want 11", len(lines))
+	}
+	// Y axis points up: the (10,10) node is on the first rendered line, the
+	// (0,0) node on the last.
+	if !strings.Contains(lines[0], "●") {
+		t.Errorf("top line missing node: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[10], "●") {
+		t.Errorf("bottom-left node missing: %q", lines[10])
+	}
+}
+
+func TestScatterActiveMask(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	got := Scatter(pts, []bool{true, false}, 11, 1)
+	if !strings.Contains(got, "●") || !strings.Contains(got, "·") {
+		t.Errorf("expected one active and one inactive glyph: %q", got)
+	}
+}
+
+func TestScatterCollisionCounts(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.01, Y: 0}, {X: 0.02, Y: 0}, {X: 10, Y: 0}}
+	got := Scatter(pts, nil, 5, 1)
+	if !strings.Contains(got, "3") {
+		t.Errorf("expected a '3' multi-node cell: %q", got)
+	}
+	// 12 co-located nodes overflow to '+'.
+	var many []geom.Point
+	for i := 0; i < 12; i++ {
+		many = append(many, geom.Point{X: 0, Y: 0})
+	}
+	many = append(many, geom.Point{X: 10, Y: 0})
+	if got := Scatter(many, nil, 5, 1); !strings.Contains(got, "+") {
+		t.Errorf("expected '+' overflow cell: %q", got)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if got := Scatter(nil, nil, 10, 10); got != "" {
+		t.Errorf("empty points rendered %q", got)
+	}
+	if got := Scatter([]geom.Point{{X: 1, Y: 1}}, nil, 0, 5); got != "" {
+		t.Errorf("zero width rendered %q", got)
+	}
+	// A single point (zero span) must not divide by zero.
+	got := Scatter([]geom.Point{{X: 3, Y: 7}}, nil, 5, 3)
+	if !strings.Contains(got, "●") {
+		t.Errorf("single point missing: %q", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	got := Bars([]string{"a", "bb"}, []int{2, 4}, 8)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "████ 2") {
+		t.Errorf("row a = %q, want 4-block bar and value", lines[0])
+	}
+	if !strings.Contains(lines[1], "████████ 4") {
+		t.Errorf("row bb = %q, want 8-block bar", lines[1])
+	}
+	// Labels align to the widest.
+	if !strings.HasPrefix(lines[0], "a  |") {
+		t.Errorf("label padding wrong: %q", lines[0])
+	}
+}
+
+func TestBarsNonZeroValuesVisible(t *testing.T) {
+	got := Bars([]string{"x", "y"}, []int{1, 1000}, 10)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if !strings.Contains(lines[0], "█") {
+		t.Errorf("tiny non-zero value rendered with no bar: %q", lines[0])
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if got := Bars(nil, nil, 10); got != "" {
+		t.Errorf("empty bars rendered %q", got)
+	}
+	if got := Bars([]string{"a"}, []int{1}, 0); got != "" {
+		t.Errorf("zero width rendered %q", got)
+	}
+	// Mismatched lengths truncate to the shorter.
+	got := Bars([]string{"a", "b", "c"}, []int{1}, 5)
+	if lines := strings.Split(strings.TrimRight(got, "\n"), "\n"); len(lines) != 1 {
+		t.Errorf("mismatched lengths rendered %d rows", len(lines))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("Sparkline = %q", got)
+	}
+	if got := Sparkline([]int{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("constant series = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 agreed on %d/64 draws", same)
+	}
+}
+
+func TestSplitPureAndDistinct(t *testing.T) {
+	if Split(7, 1) != Split(7, 1) {
+		t.Error("Split is not pure")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		s := Split(42, i)
+		if seen[s] {
+			t.Fatalf("collision at index %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSplitAvoidsSelf(t *testing.T) {
+	// A seed split by index 0 must not reproduce the parent stream.
+	parent := New(99)
+	child := New(Split(99, 0))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("child stream mirrors parent on %d/64 draws", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	seeds := SplitN(5, 10)
+	if len(seeds) != 10 {
+		t.Fatalf("len = %d, want 10", len(seeds))
+	}
+	for i, s := range seeds {
+		if s != Split(5, uint64(i)) {
+			t.Errorf("SplitN[%d] != Split(5, %d)", i, i)
+		}
+	}
+	if len(SplitN(5, 0)) != 0 {
+		t.Error("SplitN(_, 0) should be empty")
+	}
+}
+
+func TestSplitChainsIndependent(t *testing.T) {
+	// Split(Split(s, a), b) should differ from Split(Split(s, b), a) in
+	// general: the derivation is order-sensitive.
+	if Split(Split(1, 2), 3) == Split(Split(1, 3), 2) {
+		t.Error("chained splits commute; streams would collide")
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	rng := New(1)
+	for i := 0; i < 20; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if Bernoulli(rng, -0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !Bernoulli(rng, 1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := New(77)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if Bernoulli(rng, 0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.22 || rate > 0.28 {
+		t.Errorf("empirical rate %v far from 0.25", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 50)
+		p := Perm(New(seed), n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	// At n=52 the identity permutation is (astronomically) unlikely.
+	p := Perm(New(3), 52)
+	identity := true
+	for i, v := range p {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("Perm returned the identity permutation")
+	}
+}
