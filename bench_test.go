@@ -10,6 +10,8 @@ package fadingcr_test
 // substrate operations (SINR delivery, link class computation).
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -17,6 +19,7 @@ import (
 	"fadingcr/internal/core"
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/geom"
+	"fadingcr/internal/runner"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
 )
@@ -121,6 +124,48 @@ func BenchmarkSolve(b *testing.B) {
 		})
 	}
 }
+
+// benchRunner drives the Monte Carlo engine with a fixed workload — 16
+// fixed-probability solves on fresh 128-node disks — at the given
+// parallelism, so the sequential/parallel pair below makes the engine's
+// speedup (or single-core parity) visible in the bench trajectory.
+func benchRunner(b *testing.B, parallelism int) {
+	b.Helper()
+	const trials, n = 16, 128
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(context.Background(), trials, func(_ context.Context, trial int) (int, error) {
+			dseed, pseed := runner.TrialSeeds(uint64(i+1), trial)
+			d, err := geom.UniformDisk(dseed, n)
+			if err != nil {
+				return 0, err
+			}
+			ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
+			if err != nil {
+				return 0, err
+			}
+			r, err := sim.Run(ch, core.FixedProbability{}, pseed, sim.Config{MaxRounds: 2000})
+			if err != nil {
+				return 0, err
+			}
+			return r.Rounds, nil
+		}, runner.Options[int]{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkRunnerSequential is the engine at parallelism 1 — the baseline
+// matching the hand-rolled loops the engine replaced.
+func BenchmarkRunnerSequential(b *testing.B) { benchRunner(b, 1) }
+
+// BenchmarkRunnerParallel is the same workload across GOMAXPROCS workers.
+func BenchmarkRunnerParallel(b *testing.B) { benchRunner(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSINRDeliver measures one round of SINR delivery, the inner loop
 // of every fading-channel experiment.

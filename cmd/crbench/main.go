@@ -6,13 +6,19 @@
 //	crbench                       # run everything at full scale
 //	crbench -ids E1,E3 -quick     # selected experiments, small sweeps
 //	crbench -format markdown -o results.md
+//	crbench -parallel 4 -timeout 10m
+//
+// Trial loops run on the parallel Monte Carlo engine (internal/runner);
+// -parallel never changes results, only wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,13 +35,15 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list the registered experiments and exit")
-		ids    = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
-		quick  = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		seed   = fs.Uint64("seed", 1, "master seed")
-		trials = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
-		format = fs.String("format", "text", "output format: text|markdown")
-		out    = fs.String("o", "", "write output to this file instead of stdout")
+		list     = fs.Bool("list", false, "list the registered experiments and exit")
+		ids      = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
+		quick    = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		seed     = fs.Uint64("seed", 1, "master seed")
+		trials   = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
+		format   = fs.String("format", "text", "output format: text|markdown")
+		out      = fs.String("o", "", "write output to this file instead of stdout")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +82,19 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	effective := *parallel
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx}
+	runStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		tables, err := e.Run(cfg)
@@ -92,5 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(w, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d)\n",
+		len(selected), time.Since(runStart).Round(time.Millisecond), effective)
 	return nil
 }

@@ -5,22 +5,51 @@
 //
 //	crhitting -k 1024 -player half -trials 500
 //	crhitting -k 256 -player cr-fixed        # Lemma 14 reduction player
+//	crhitting -k 1024 -trials 10000 -parallel 8 -timeout 2m
+//
+// Games run on the parallel Monte Carlo engine (internal/runner);
+// -parallel never changes results, only wall-clock time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"fadingcr/internal/baselines"
 	"fadingcr/internal/core"
 	"fadingcr/internal/hitting"
+	"fadingcr/internal/runner"
 	"fadingcr/internal/stats"
 	"fadingcr/internal/table"
 	"fadingcr/internal/xrand"
 )
+
+// engineOpts are the runner settings shared by both game loops.
+type engineOpts struct {
+	ctx      context.Context
+	parallel int
+}
+
+// runGames executes one game per trial on the engine, failing on the first
+// per-trial error in trial order (like the sequential loops it replaced).
+func runGames(eo engineOpts, trials int, fn func(trial int) (float64, error)) ([]float64, error) {
+	res, err := runner.Run(eo.ctx, trials,
+		func(_ context.Context, trial int) (float64, error) { return fn(trial) },
+		runner.Options[float64]{Parallelism: eo.parallel})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstErr(); err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -31,21 +60,23 @@ func main() {
 
 // runAdversary evaluates the player against the optimal (worst-case) target
 // choice — exact for the oblivious players this command offers.
-func runAdversary(k, trials int, seed uint64, makePlayer func(seed uint64) (hitting.Player, error)) error {
-	values := make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
+func runAdversary(eo engineOpts, k, trials int, seed uint64, makePlayer func(seed uint64) (hitting.Player, error)) error {
+	values, err := runGames(eo, trials, func(trial int) (float64, error) {
 		p, err := makePlayer(xrand.Split(seed, uint64(trial)+1<<40))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		wc, err := hitting.ObliviousWorstCase(p, k, 20000)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if wc.Survived {
-			return fmt.Errorf("trial %d: a target survived the 20000-round budget", trial)
+			return 0, fmt.Errorf("trial %d: a target survived the 20000-round budget", trial)
 		}
-		values = append(values, float64(wc.Rounds))
+		return float64(wc.Rounds), nil
+	})
+	if err != nil {
+		return err
 	}
 	s, err := stats.Summarize(values)
 	if err != nil {
@@ -70,10 +101,20 @@ func run(args []string) error {
 		trials    = fs.Int("trials", 500, "number of independent games")
 		seed      = fs.Uint64("seed", 1, "master seed")
 		adversary = fs.Bool("adversary", false, "compute the exact worst-case-referee value instead of the random-referee distribution")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	eo := engineOpts{ctx: ctx, parallel: *parallel}
 
 	makePlayer := func(seed uint64) (hitting.Player, error) {
 		switch *player {
@@ -90,28 +131,39 @@ func run(args []string) error {
 		}
 	}
 
+	start := time.Now()
+	effective := *parallel
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
 	if *adversary {
-		return runAdversary(*k, *trials, *seed, makePlayer)
+		if err := runAdversary(eo, *k, *trials, *seed, makePlayer); err != nil {
+			return err
+		}
+		fmt.Printf("(%d games in %v, parallelism %d)\n", *trials, time.Since(start).Round(time.Millisecond), effective)
+		return nil
 	}
 
-	rounds := make([]float64, 0, *trials)
-	for trial := 0; trial < *trials; trial++ {
+	rounds, err := runGames(eo, *trials, func(trial int) (float64, error) {
 		ref, err := hitting.NewReferee(*k, xrand.Split(*seed, uint64(trial)))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		p, err := makePlayer(xrand.Split(*seed, uint64(trial)+1<<32))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		r, won, err := hitting.Play(ref, p, 10000000)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if !won {
-			return fmt.Errorf("trial %d never won", trial)
+			return 0, fmt.Errorf("trial %d never won", trial)
 		}
-		rounds = append(rounds, float64(r))
+		return float64(r), nil
+	})
+	if err != nil {
+		return err
 	}
 
 	s, err := stats.Summarize(rounds)
@@ -128,5 +180,6 @@ func run(args []string) error {
 	tab.AddRow("max", table.Float(s.Max, 0))
 	tab.AddRow("log2(k) reference", table.Float(math.Log2(float64(*k)), 1))
 	fmt.Print(tab.Text())
+	fmt.Printf("(%d games in %v, parallelism %d)\n", *trials, time.Since(start).Round(time.Millisecond), effective)
 	return nil
 }

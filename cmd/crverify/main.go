@@ -11,17 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"fadingcr/internal/baselines"
 	"fadingcr/internal/core"
 	"fadingcr/internal/geom"
 	"fadingcr/internal/hitting"
 	"fadingcr/internal/radio"
+	"fadingcr/internal/runner"
 	"fadingcr/internal/schedule"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
@@ -37,11 +41,13 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("crverify", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "master seed")
 	trials := fs.Int("trials", 15, "trials per estimated quantity")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	v := &verifier{seed: *seed, trials: *trials}
+	start := time.Now()
+	v := &verifier{seed: *seed, trials: *trials, parallel: *parallel}
 	checks := []struct {
 		id    string
 		claim string
@@ -69,65 +75,93 @@ func run(args []string) int {
 		}
 		fmt.Printf("%-4s %s  %s\n     evidence: %s\n", c.id, status, c.claim, evidence)
 	}
+	elapsed := time.Since(start).Round(time.Millisecond)
 	if failures > 0 {
-		fmt.Printf("\n%d/%d checks failed\n", failures, len(checks))
+		fmt.Printf("\n%d/%d checks failed in %v (parallelism %d)\n", failures, len(checks), elapsed, v.effectiveParallelism())
 		return 1
 	}
-	fmt.Printf("\nall %d checks passed\n", len(checks))
+	fmt.Printf("\nall %d checks passed in %v (parallelism %d)\n", len(checks), elapsed, v.effectiveParallelism())
 	return 0
 }
 
 type verifier struct {
-	seed   uint64
-	trials int
+	seed     uint64
+	trials   int
+	parallel int
+}
+
+func (v *verifier) effectiveParallelism() int {
+	if v.parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return v.parallel
+}
+
+// verifyOutcome is one execution's contribution to an estimated quantity.
+type verifyOutcome struct {
+	value  float64
+	solved bool
+}
+
+// sample runs fn for every trial on the Monte Carlo engine and returns the
+// values in trial order plus the unsolved count. Any error (including a
+// recovered trial panic) aborts verification hard, like the sequential
+// loops this replaced.
+func (v *verifier) sample(trials int, fn func(trial int) (verifyOutcome, error)) ([]float64, int) {
+	res, err := runner.Run(context.Background(), trials,
+		func(_ context.Context, trial int) (verifyOutcome, error) { return fn(trial) },
+		runner.Options[verifyOutcome]{Parallelism: v.parallel})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		panic(err)
+	}
+	values := make([]float64, 0, trials)
+	unsolved := 0
+	for _, o := range res.Values {
+		if !o.solved {
+			unsolved++
+		}
+		values = append(values, o.value)
+	}
+	return values, unsolved
 }
 
 // medianRounds runs the builder on fresh uniform-disk SINR instances.
 func (v *verifier) medianRounds(n int, b sim.Builder, budget int) (float64, int) {
-	var rounds []float64
-	unsolved := 0
-	for trial := 0; trial < v.trials; trial++ {
+	rounds, unsolved := v.sample(v.trials, func(trial int) (verifyOutcome, error) {
 		d, err := geom.UniformDisk(xrand.Split(v.seed, uint64(trial)), n)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
-		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
-		ch, err := sinr.New(params, d.Points)
+		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
 		res, err := sim.Run(ch, b, xrand.Split(v.seed, uint64(trial)+1<<20), sim.Config{MaxRounds: budget})
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		if !res.Solved {
-			unsolved++
-		}
-		rounds = append(rounds, float64(res.Rounds))
-	}
+		return verifyOutcome{value: float64(res.Rounds), solved: res.Solved}, nil
+	})
 	return stats.Median(rounds), unsolved
 }
 
 // medianRadio runs the builder on the collision channel.
 func (v *verifier) medianRadio(n int, b sim.Builder, budget int, cd bool) (float64, int) {
-	var rounds []float64
-	unsolved := 0
-	for trial := 0; trial < v.trials; trial++ {
+	rounds, unsolved := v.sample(v.trials, func(trial int) (verifyOutcome, error) {
 		ch, err := radio.New(n, cd)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
 		res, err := sim.Run(ch, b, xrand.Split(v.seed, uint64(trial)+2<<20),
 			sim.Config{MaxRounds: budget, CollisionDetection: cd})
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		if !res.Solved {
-			unsolved++
-		}
-		rounds = append(rounds, float64(res.Rounds))
-	}
+		return verifyOutcome{value: float64(res.Rounds), solved: res.Solved}, nil
+	})
 	return stats.Median(rounds), unsolved
 }
 
@@ -197,23 +231,21 @@ func checkClaim1(v *verifier) (bool, string) {
 
 func checkHitting(v *verifier) (bool, string) {
 	horizon := func(k int) float64 {
-		trials := 4 * k
-		var rounds []float64
-		for trial := 0; trial < trials; trial++ {
+		rounds, _ := v.sample(4*k, func(trial int) (verifyOutcome, error) {
 			ref, err := hitting.NewReferee(k, xrand.Split(v.seed, uint64(trial)))
 			if err != nil {
-				panic(err)
+				return verifyOutcome{}, err
 			}
 			p, err := hitting.NewFixedDensityPlayer(k, 0.5, xrand.Split(v.seed, uint64(trial)+3<<20))
 			if err != nil {
-				panic(err)
+				return verifyOutcome{}, err
 			}
 			r, won, err := hitting.Play(ref, p, 100000)
 			if err != nil || !won {
-				panic(fmt.Sprintf("hitting trial failed: won=%v err=%v", won, err))
+				return verifyOutcome{}, fmt.Errorf("hitting trial failed: won=%v err=%v", won, err)
 			}
-			rounds = append(rounds, float64(r))
-		}
+			return verifyOutcome{value: float64(r), solved: true}, nil
+		})
 		sort.Float64s(rounds)
 		return stats.Quantile(rounds, 1-1/float64(k))
 	}
@@ -226,38 +258,48 @@ func checkHitting(v *verifier) (bool, string) {
 
 func checkEmbedding(v *verifier) (bool, string) {
 	const trials = 200
-	var embedded, abstract []float64
-	for trial := 0; trial < trials; trial++ {
+	// One engine pass yields the embedded rounds; the paired abstract
+	// game shares the trial's protocol seed, so run both in the trial.
+	type paired struct{ embedded, abstract float64 }
+	res, err := runner.Run(context.Background(), trials, func(_ context.Context, trial int) (paired, error) {
 		dseed := xrand.Split(v.seed, uint64(trial)*3)
 		d, err := geom.UniformDisk(dseed, 128)
 		if err != nil {
-			panic(err)
+			return paired{}, err
 		}
 		idx, err := geom.RandomSubset(xrand.Split(v.seed, uint64(trial)*3+1), 128, 2)
 		if err != nil {
-			panic(err)
+			return paired{}, err
 		}
 		pair, err := d.Subset(idx)
 		if err != nil {
-			panic(err)
+			return paired{}, err
 		}
-		params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
-		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, pair.R, sinr.DefaultSingleHopMargin)
-		ch, err := sinr.New(params, pair.Points)
+		ch, err := sinr.ChannelFor(sinr.DefaultParams(), pair)
 		if err != nil {
-			panic(err)
+			return paired{}, err
 		}
 		pseed := xrand.Split(v.seed, uint64(trial)*3+2)
-		res, err := sim.Run(ch, core.FixedProbability{}, pseed, sim.Config{MaxRounds: 100000})
-		if err != nil || !res.Solved {
-			panic("embedding trial failed")
+		r, err := sim.Run(ch, core.FixedProbability{}, pseed, sim.Config{MaxRounds: 100000})
+		if err != nil || !r.Solved {
+			return paired{}, fmt.Errorf("embedding trial %d failed", trial)
 		}
-		embedded = append(embedded, float64(res.Rounds))
 		two, err := hitting.PlayTwoPlayer(core.FixedProbability{}, pseed, 100000)
 		if err != nil || !two.Won {
-			panic("two-player trial failed")
+			return paired{}, fmt.Errorf("two-player trial %d failed", trial)
 		}
-		abstract = append(abstract, float64(two.Rounds))
+		return paired{embedded: float64(r.Rounds), abstract: float64(two.Rounds)}, nil
+	}, runner.Options[paired]{Parallelism: v.parallel})
+	if err != nil {
+		panic(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		panic(err)
+	}
+	var embedded, abstract []float64
+	for _, o := range res.Values {
+		embedded = append(embedded, o.embedded)
+		abstract = append(abstract, o.abstract)
 	}
 	d, err := stats.KolmogorovSmirnov(embedded, abstract)
 	if err != nil {
@@ -270,27 +312,22 @@ func checkWhp(v *verifier) (bool, string) {
 	const n = 256
 	budget := 8 * int(math.Ceil(math.Log2(n)))
 	trials := 100
-	unsolved := 0
-	for trial := 0; trial < trials; trial++ {
+	_, unsolved := v.sample(trials, func(trial int) (verifyOutcome, error) {
 		d, err := geom.UniformDisk(xrand.Split(v.seed, uint64(trial)+4<<20), n)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
-		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
-		ch, err := sinr.New(params, d.Points)
+		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
 		res, err := sim.Run(ch, core.FixedProbability{}, xrand.Split(v.seed, uint64(trial)+5<<20),
 			sim.Config{MaxRounds: budget})
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		if !res.Solved {
-			unsolved++
-		}
-	}
+		return verifyOutcome{value: float64(res.Rounds), solved: res.Solved}, nil
+	})
 	return unsolved == 0, fmt.Sprintf("%d/%d failures within %d rounds at n=%d", unsolved, trials, budget, n)
 }
 
@@ -300,7 +337,7 @@ func checkCapacity(v *verifier) (bool, string) {
 		if err != nil {
 			panic(err)
 		}
-		params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+		params := sinr.DefaultParams()
 		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
 		chosen, err := schedule.Greedy(params, d.Points, schedule.NearestNeighborLinks(d.Points))
 		if err != nil {
@@ -315,25 +352,22 @@ func checkCapacity(v *verifier) (bool, string) {
 
 func checkEnergy(v *verifier) (bool, string) {
 	const n = 256
-	var perCap []float64
-	for trial := 0; trial < v.trials; trial++ {
+	perCap, _ := v.sample(v.trials, func(trial int) (verifyOutcome, error) {
 		d, err := geom.UniformDisk(xrand.Split(v.seed, uint64(trial)+6<<20), n)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
-		params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
-		params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
-		ch, err := sinr.New(params, d.Points)
+		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
 		if err != nil {
-			panic(err)
+			return verifyOutcome{}, err
 		}
 		res, err := sim.Run(ch, core.FixedProbability{}, xrand.Split(v.seed, uint64(trial)+7<<20),
 			sim.Config{MaxRounds: 2000})
 		if err != nil || !res.Solved {
-			panic("energy trial failed")
+			return verifyOutcome{}, fmt.Errorf("energy trial %d failed", trial)
 		}
-		perCap = append(perCap, float64(res.Transmissions)/float64(n))
-	}
+		return verifyOutcome{value: float64(res.Transmissions) / float64(n), solved: true}, nil
+	})
 	med := stats.Median(perCap)
 	return med < 1.5, fmt.Sprintf("median transmissions per node %.2f at n=%d (oblivious radio strategies: several)", med, n)
 }

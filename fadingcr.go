@@ -143,6 +143,11 @@ var (
 	// MinSingleHopPower derives the smallest power satisfying the
 	// single-hop condition for a maximum link length.
 	MinSingleHopPower = sinr.MinSingleHopPower
+	// ChannelFor builds the default single-hop SINR channel over a
+	// deployment, deriving the minimum feasible power when Params.Power
+	// is 0. It is the shared helper behind Solve, the experiment suite,
+	// and crverify, so the derivation cannot drift between them.
+	ChannelFor = sinr.ChannelFor
 
 	// Run executes a protocol over a channel until a solo broadcast or the
 	// round budget.
@@ -182,9 +187,10 @@ var (
 
 // DefaultParams returns the repository-standard physical constants
 // (α = 3, β = 1.5, N = 1) with Power unset; derive a power with
-// MinSingleHopPower or let Solve do it.
+// MinSingleHopPower or let Solve do it. It is sinr.DefaultParams, the one
+// shared definition used by every harness entry point.
 func DefaultParams() Params {
-	return Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	return sinr.DefaultParams()
 }
 
 // Solve runs the paper's algorithm on the deployment with default physical
@@ -192,9 +198,7 @@ func DefaultParams() Params {
 // Θ(log n + log R) round budget. It is the one-call entry point used by the
 // quickstart example.
 func Solve(d *Deployment, seed uint64) (Result, error) {
-	params := DefaultParams()
-	params.Power = MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, DefaultSingleHopMargin)
-	ch, err := NewSINRChannel(params, d.Points)
+	ch, err := ChannelFor(DefaultParams(), d)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll renders an experiment's tables to one string for comparison.
+func renderAll(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s missing", id)
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var b strings.Builder
+	for _, tab := range tables {
+		b.WriteString(tab.Text())
+	}
+	return b.String()
+}
+
+// TestParallelismInvariance is the determinism regression of the parallel
+// Monte Carlo engine: for a representative experiment (E1 quick) the
+// rendered result tables must be byte-identical at parallelism 1, 4, and 8
+// for the same master seed. Every trial derives its randomness from
+// (Seed, trial index) alone and results are reassembled in trial order, so
+// parallelism must never change output.
+func TestParallelismInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	base := Config{Seed: 42, Quick: true, Trials: 6}
+	sequential := renderAll(t, "E1", Config{Seed: base.Seed, Quick: true, Trials: base.Trials, Parallelism: 1})
+	for _, par := range []int{4, 8} {
+		cfg := base
+		cfg.Parallelism = par
+		if got := renderAll(t, "E1", cfg); got != sequential {
+			t.Errorf("E1 tables at parallelism %d differ from parallelism 1", par)
+		}
+	}
+}
+
+// TestParallelismInvarianceAcrossSuite spot-checks the converted
+// per-experiment loops (analyzer traces, hitting games, paired embeddings,
+// energy medians, capacity sweeps) at a second parallelism.
+func TestParallelismInvarianceAcrossSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range []string{"E4", "E6", "E14", "E15", "E16", "E18"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq := renderAll(t, id, Config{Seed: 11, Quick: true, Trials: 3, Parallelism: 1})
+			par := renderAll(t, id, Config{Seed: 11, Quick: true, Trials: 3, Parallelism: 8})
+			if seq != par {
+				t.Errorf("%s tables differ between parallelism 1 and 8", id)
+			}
+		})
+	}
+}

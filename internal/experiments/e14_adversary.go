@@ -51,20 +51,28 @@ func e14() Experiment {
 				row := []string{pl.label}
 				var values, logs []float64
 				for _, k := range ks {
-					total := 0.0
-					for trial := 0; trial < trials; trial++ {
+					vals, err := runTrials(cfg, trials, func(trial int) (float64, error) {
 						p, err := pl.make(k, xrand.Split(cfg.Seed, uint64(trial)))
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
 						wc, err := hitting.ObliviousWorstCase(p, k, 5000)
 						if err != nil {
-							return nil, fmt.Errorf("E14 %s k=%d: %w", pl.label, k, err)
+							return 0, fmt.Errorf("E14 %s k=%d: %w", pl.label, k, err)
 						}
 						if wc.Survived {
-							return nil, fmt.Errorf("E14 %s k=%d trial %d: target survived the budget", pl.label, k, trial)
+							return 0, fmt.Errorf("E14 %s k=%d trial %d: target survived the budget", pl.label, k, trial)
 						}
-						total += float64(wc.Rounds)
+						return float64(wc.Rounds), nil
+					})
+					if err != nil {
+						return nil, err
+					}
+					// Fold in trial order: identical float arithmetic to
+					// the sequential loop this replaced.
+					total := 0.0
+					for _, v := range vals {
+						total += v
 					}
 					mean := total / float64(trials)
 					values = append(values, mean)

@@ -78,43 +78,54 @@ func e15() Experiment {
 // the observation at the heart of the Theorem 12 reduction.
 func e15Embedding(cfg Config) (*table.Table, error) {
 	trials := cfg.trials(400, 60)
-	var embedded, abstract []float64
-	for trial := 0; trial < trials; trial++ {
+	// One trial produces a paired observation: the same protocol seed run
+	// as (a) two activated nodes on the fading network and (b) the
+	// abstract two-player game.
+	type paired struct {
+		embedded, abstract float64
+	}
+	outcomes, err := runTrials(cfg, trials, func(trial int) (paired, error) {
 		dseed := xrand.Split(cfg.Seed, uint64(trial)*3)
 		d, err := geom.UniformDisk(dseed, 256)
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		idx, err := geom.RandomSubset(xrand.Split(cfg.Seed, uint64(trial)*3+1), 256, 2)
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		pair, err := d.Subset(idx)
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		ch, err := channelFor(DefaultParams(), pair)
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		pseed := xrand.Split(cfg.Seed, uint64(trial)*3+2)
 		res, err := sim.Run(ch, core.FixedProbability{}, pseed, sim.Config{MaxRounds: 100000})
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		if !res.Solved {
-			return nil, fmt.Errorf("E15 embedding trial %d unsolved", trial)
+			return paired{}, fmt.Errorf("E15 embedding trial %d unsolved", trial)
 		}
-		embedded = append(embedded, float64(res.Rounds))
-
 		two, err := hitting.PlayTwoPlayer(core.FixedProbability{}, pseed, 100000)
 		if err != nil {
-			return nil, err
+			return paired{}, err
 		}
 		if !two.Won {
-			return nil, fmt.Errorf("E15 two-player trial %d unsolved", trial)
+			return paired{}, fmt.Errorf("E15 two-player trial %d unsolved", trial)
 		}
-		abstract = append(abstract, float64(two.Rounds))
+		return paired{embedded: float64(res.Rounds), abstract: float64(two.Rounds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var embedded, abstract []float64
+	for _, o := range outcomes {
+		embedded = append(embedded, o.embedded)
+		abstract = append(abstract, o.abstract)
 	}
 	sort.Float64s(embedded)
 	sort.Float64s(abstract)

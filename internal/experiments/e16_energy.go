@@ -8,9 +8,9 @@ import (
 	"fadingcr/internal/core"
 	"fadingcr/internal/geom"
 	"fadingcr/internal/radio"
+	"fadingcr/internal/runner"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/table"
-	"fadingcr/internal/xrand"
 )
 
 // e16 — energy accounting: total transmissions until the solving round.
@@ -69,10 +69,8 @@ func e16() Experiment {
 
 // e16Median returns the median Transmissions over trials for one cell.
 func e16Median(cfg Config, trials, n int, builder sim.Builder, channel string) (float64, error) {
-	var energies []float64
-	for trial := 0; trial < trials; trial++ {
-		dseed := xrand.Split(cfg.Seed, uint64(trial)*2)
-		pseed := xrand.Split(cfg.Seed, uint64(trial)*2+1)
+	energies, err := runTrials(cfg, trials, func(trial int) (float64, error) {
+		dseed, pseed := runner.TrialSeeds(cfg.Seed, trial)
 		var (
 			ch  sim.Channel
 			err error
@@ -103,7 +101,10 @@ func e16Median(cfg Config, trials, n int, builder sim.Builder, channel string) (
 		if !res.Solved {
 			return 0, fmt.Errorf("trial %d unsolved", trial)
 		}
-		energies = append(energies, float64(res.Transmissions))
+		return float64(res.Transmissions), nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	sort.Float64s(energies)
 	return energies[len(energies)/2], nil

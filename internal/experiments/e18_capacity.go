@@ -32,25 +32,34 @@ func e18() Experiment {
 			result := table.New("E18 — one-shot capacity of greedy SINR scheduling (nearest-neighbour requests)",
 				"n", "mean capacity", "capacity/n", "rounds to serve all (mean)", "collision channel")
 			for _, n := range ns {
-				var caps, sched []float64
-				for trial := 0; trial < trials; trial++ {
+				type capacity struct {
+					links, rounds float64
+				}
+				outcomes, err := runTrials(cfg, trials, func(trial int) (capacity, error) {
 					d, err := geom.UniformDisk(xrand.Split(cfg.Seed, uint64(trial)), n)
 					if err != nil {
-						return nil, err
+						return capacity{}, err
 					}
 					params := DefaultParams()
 					params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
 					requests := schedule.NearestNeighborLinks(d.Points)
 					chosen, err := schedule.Greedy(params, d.Points, requests)
 					if err != nil {
-						return nil, fmt.Errorf("E18 n=%d: %w", n, err)
+						return capacity{}, fmt.Errorf("E18 n=%d: %w", n, err)
 					}
-					caps = append(caps, float64(len(chosen)))
 					rounds, err := schedule.ScheduleAll(params, d.Points, requests)
 					if err != nil {
-						return nil, fmt.Errorf("E18 n=%d schedule-all: %w", n, err)
+						return capacity{}, fmt.Errorf("E18 n=%d schedule-all: %w", n, err)
 					}
-					sched = append(sched, float64(len(rounds)))
+					return capacity{links: float64(len(chosen)), rounds: float64(len(rounds))}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var caps, sched []float64
+				for _, o := range outcomes {
+					caps = append(caps, o.links)
+					sched = append(sched, o.rounds)
 				}
 				meanCap := stats.Mean(caps)
 				result.AddRow(table.Int(n),

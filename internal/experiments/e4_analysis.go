@@ -32,26 +32,39 @@ func e4() Experiment {
 			var solveRounds []int
 			worstSegment := 0
 
-			for trial := 0; trial < trials; trial++ {
+			// Each trial returns its solving round and per-round
+			// suffix-max class sizes; the (order-sensitive) aggregation
+			// below stays sequential in trial order.
+			type traced struct {
+				rounds int
+				suffix [][]int
+			}
+			outcomes, err := runTrials(cfg, trials, func(trial int) (traced, error) {
 				d, err := geom.ExponentialChain(xrand.Split(cfg.Seed, uint64(trial)), m, pairs)
 				if err != nil {
-					return nil, err
+					return traced{}, err
 				}
 				ch, err := channelFor(DefaultParams(), d)
 				if err != nil {
-					return nil, err
+					return traced{}, err
 				}
 				an := &core.Analyzer{Points: d.Points, Alpha: DefaultParams().Alpha, R: d.R}
 				res, err := sim.Run(ch, core.FixedProbability{}, xrand.Split(cfg.Seed, uint64(trial)+1000),
 					sim.Config{MaxRounds: 4000, Tracer: an})
 				if err != nil {
-					return nil, err
+					return traced{}, err
 				}
 				if !res.Solved {
-					return nil, fmt.Errorf("E4 trial %d unsolved", trial)
+					return traced{}, fmt.Errorf("E4 trial %d unsolved", trial)
 				}
-				solveRounds = append(solveRounds, res.Rounds)
-				suffix := an.MaxClassSizes()
+				return traced{rounds: res.Rounds, suffix: an.MaxClassSizes()}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range outcomes {
+				suffix := o.suffix
+				solveRounds = append(solveRounds, o.rounds)
 				for i := 0; i < m && i < len(suffix[0]); i++ {
 					initial := suffix[0][i]
 					if initial == 0 {
@@ -68,7 +81,7 @@ func e4() Experiment {
 						}
 					}
 					if cs.emptyRound < 0 {
-						cs.emptyRound = res.Rounds // emptied by the solving round
+						cs.emptyRound = o.rounds // emptied by the solving round
 					}
 					if cs.halfRound < 0 {
 						cs.halfRound = cs.emptyRound
@@ -78,7 +91,7 @@ func e4() Experiment {
 					sums[i].emptyRound += cs.emptyRound
 					counts[i]++
 				}
-				if seg := fitEnvelopeSegment(suffix, res.Rounds); seg > worstSegment {
+				if seg := fitEnvelopeSegment(suffix, o.rounds); seg > worstSegment {
 					worstSegment = seg
 				}
 			}
@@ -167,7 +180,11 @@ func e5() Experiment {
 			}
 			perClass := map[int]*agg{}
 
-			for trial := 0; trial < trials; trial++ {
+			type cell struct {
+				class int
+				frac  float64
+			}
+			outcomes, err := runTrials(cfg, trials, func(trial int) ([]cell, error) {
 				d, err := geom.UniformDisk(xrand.Split(cfg.Seed, uint64(trial)), n)
 				if err != nil {
 					return nil, err
@@ -178,6 +195,7 @@ func e5() Experiment {
 				}
 				lc := geom.ComputeLinkClasses(d.Points, active)
 				alpha := DefaultParams().Alpha
+				var cells []cell
 				for i, size := range lc.Sizes {
 					if size == 0 || float64(lc.SizeBelow(i)) > delta*float64(size) {
 						continue
@@ -191,18 +209,26 @@ func e5() Experiment {
 							good++
 						}
 					}
-					frac := float64(good) / float64(size)
-					a := perClass[i]
+					cells = append(cells, cell{class: i, frac: float64(good) / float64(size)})
+				}
+				return cells, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, cells := range outcomes {
+				for _, c := range cells {
+					a := perClass[c.class]
 					if a == nil {
 						a = &agg{minFrac: 2}
-						perClass[i] = a
+						perClass[c.class] = a
 					}
 					a.cells++
-					a.fracSum += frac
-					if frac < a.minFrac {
-						a.minFrac = frac
+					a.fracSum += c.frac
+					if c.frac < a.minFrac {
+						a.minFrac = c.frac
 					}
-					if frac >= 0.5 {
+					if c.frac >= 0.5 {
 						a.holds++
 					}
 				}

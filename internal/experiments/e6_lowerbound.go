@@ -67,24 +67,26 @@ func e6() Experiment {
 					if !cfg.Quick && trials < 4*k {
 						trials = 4 * k
 					}
-					var rounds []int
-					for trial := 0; trial < trials; trial++ {
+					rounds, err := runTrials(cfg, trials, func(trial int) (int, error) {
 						ref, err := hitting.NewReferee(k, xrand.Split(cfg.Seed, uint64(trial)))
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
 						p, err := pl.make(k, xrand.Split(cfg.Seed, uint64(trial)+7777))
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
 						r, won, err := hitting.Play(ref, p, 1000000)
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
 						if !won {
-							return nil, fmt.Errorf("E6 %s k=%d trial %d never won", pl.label, k, trial)
+							return 0, fmt.Errorf("E6 %s k=%d trial %d never won", pl.label, k, trial)
 						}
-						rounds = append(rounds, r)
+						return r, nil
+					})
+					if err != nil {
+						return nil, err
 					}
 					h := whpQuantile(rounds, k)
 					horizons = append(horizons, h)
@@ -140,11 +142,13 @@ func e7() Experiment {
 				row := []string{table.Int(n), table.Sci(1/float64(n), 1)}
 				for _, c := range cs {
 					budget := c * int(math.Ceil(math.Log2(float64(n))))
-					_, unsolved, err := sinrTrialRounds(cfg, trials, n, core.FixedProbability{}, budget)
+					// Only the failure count matters here: aggregate
+					// online instead of buffering the rounds sample.
+					agg, err := sinrTrialStats(cfg, trials, n, core.FixedProbability{}, budget)
 					if err != nil {
 						return nil, fmt.Errorf("E7 n=%d C=%d: %w", n, c, err)
 					}
-					row = append(row, fmt.Sprintf("%d/%d", unsolved, trials))
+					row = append(row, fmt.Sprintf("%d/%d", agg.Unsolved(), trials))
 				}
 				result.AddRow(row...)
 			}
@@ -193,16 +197,18 @@ func e11() Experiment {
 				append([]string{"algorithm"}, kCols(ks)...)...)
 			for _, a := range algos {
 				// One pool of trials serves every k: the quantile moves.
-				var rounds []int
-				for trial := 0; trial < trials; trial++ {
+				rounds, err := runTrials(cfg, trials, func(trial int) (int, error) {
 					res, err := hitting.PlayTwoPlayer(a.builder, xrand.Split(cfg.Seed, uint64(trial)), 1000000)
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 					if !res.Won {
-						return nil, fmt.Errorf("E11 %s trial %d never won", a.label, trial)
+						return 0, fmt.Errorf("E11 %s trial %d never won", a.label, trial)
 					}
-					rounds = append(rounds, res.Rounds)
+					return res.Rounds, nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				row := []string{a.label}
 				for _, k := range ks {

@@ -6,14 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"fadingcr/internal/geom"
+	"fadingcr/internal/runner"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
 	"fadingcr/internal/table"
-	"fadingcr/internal/xrand"
 )
 
 // Config controls the scale of an experiment run.
@@ -25,6 +26,39 @@ type Config struct {
 	Trials int
 	// Quick shrinks sweeps for fast smoke runs (tests, CI).
 	Quick bool
+	// Parallelism is the number of worker goroutines trial loops run
+	// across; 0 selects runtime.GOMAXPROCS(0). Results are bit-identical
+	// at every parallelism: trials derive their seeds from (Seed, trial
+	// index) alone and are reassembled in trial order.
+	Parallelism int
+	// Context, when non-nil, cancels in-flight trial loops (deadline or
+	// interrupt); a canceled experiment returns the context's error.
+	Context context.Context
+}
+
+// ctx returns the configured context, defaulting to context.Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// runTrials executes fn for every trial index on the shared Monte Carlo
+// engine with the Config's parallelism and context, failing like the
+// sequential loops it replaced: the first per-trial error (in trial
+// order) aborts the experiment.
+func runTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	res, err := runner.Run(cfg.ctx(), trials,
+		func(_ context.Context, trial int) (T, error) { return fn(trial) },
+		runner.Options[T]{Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstErr(); err != nil {
+		return nil, err
+	}
+	return res.Values, nil
 }
 
 func (c Config) trials(def, quickDef int) int {
@@ -78,20 +112,52 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// DefaultParams returns the repository-standard physical-layer constants:
-// α = 3 (super-quadratic fading per the model's α > 2), β = 1.5, N = 1, with
-// power derived per deployment by channelFor.
+// DefaultParams returns the repository-standard physical-layer constants
+// (sinr.DefaultParams), with power derived per deployment by channelFor.
 func DefaultParams() sinr.Params {
-	return sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+	return sinr.DefaultParams()
 }
 
 // channelFor builds a single-hop SINR channel over the deployment with the
 // given parameters, deriving the minimum feasible power when p.Power is 0.
+// It is sinr.ChannelFor, the one shared definition of the derivation.
 func channelFor(p sinr.Params, d *geom.Deployment) (*sinr.Channel, error) {
-	if p.Power == 0 {
-		p.Power = sinr.MinSingleHopPower(p.Alpha, p.Beta, p.Noise, d.R, sinr.DefaultSingleHopMargin)
-	}
-	return sinr.New(p, d.Points)
+	return sinr.ChannelFor(p, d)
+}
+
+// trialOutcome is one execution's contribution to a trial loop.
+type trialOutcome struct {
+	rounds float64
+	solved bool
+}
+
+// runTrialOutcomes is the common body of trialRounds and trialStats: one
+// simulator execution per trial on a fresh deployment, seeded by the
+// runner.TrialSeeds contract.
+func runTrialOutcomes(
+	cfg Config,
+	trials int,
+	deploy func(seed uint64) (*geom.Deployment, error),
+	channel func(d *geom.Deployment) (sim.Channel, error),
+	builder sim.Builder,
+	simCfg sim.Config,
+) ([]trialOutcome, error) {
+	return runTrials(cfg, trials, func(trial int) (trialOutcome, error) {
+		dseed, pseed := runner.TrialSeeds(cfg.Seed, trial)
+		d, err := deploy(dseed)
+		if err != nil {
+			return trialOutcome{}, fmt.Errorf("trial %d deployment: %w", trial, err)
+		}
+		ch, err := channel(d)
+		if err != nil {
+			return trialOutcome{}, fmt.Errorf("trial %d channel: %w", trial, err)
+		}
+		res, err := sim.Run(ch, builder, pseed, simCfg)
+		if err != nil {
+			return trialOutcome{}, fmt.Errorf("trial %d run: %w", trial, err)
+		}
+		return trialOutcome{rounds: float64(res.Rounds), solved: res.Solved}, nil
+	})
 }
 
 // trialRounds runs `trials` independent executions, each on a fresh
@@ -105,33 +171,57 @@ func trialRounds(
 	builder sim.Builder,
 	simCfg sim.Config,
 ) (rounds []float64, unsolved int, err error) {
+	outcomes, err := runTrialOutcomes(cfg, trials, deploy, channel, builder, simCfg)
+	if err != nil {
+		return nil, 0, err
+	}
 	rounds = make([]float64, 0, trials)
-	for trial := 0; trial < trials; trial++ {
-		dseed := xrand.Split(cfg.Seed, uint64(trial)*2)
-		pseed := xrand.Split(cfg.Seed, uint64(trial)*2+1)
-		d, err := deploy(dseed)
-		if err != nil {
-			return nil, 0, fmt.Errorf("trial %d deployment: %w", trial, err)
-		}
-		ch, err := channel(d)
-		if err != nil {
-			return nil, 0, fmt.Errorf("trial %d channel: %w", trial, err)
-		}
-		res, err := sim.Run(ch, builder, pseed, simCfg)
-		if err != nil {
-			return nil, 0, fmt.Errorf("trial %d run: %w", trial, err)
-		}
-		if !res.Solved {
+	for _, o := range outcomes {
+		if !o.solved {
 			unsolved++
 		}
-		rounds = append(rounds, float64(res.Rounds))
+		rounds = append(rounds, o.rounds)
 	}
 	return rounds, unsolved, nil
+}
+
+// trialStats is trialRounds for callers that only need summary statistics:
+// it folds the outcomes (in trial order, so the result is independent of
+// parallelism) into an online aggregator instead of handing back a sample
+// to buffer and sort.
+func trialStats(
+	cfg Config,
+	trials int,
+	deploy func(seed uint64) (*geom.Deployment, error),
+	channel func(d *geom.Deployment) (sim.Channel, error),
+	builder sim.Builder,
+	simCfg sim.Config,
+) (*runner.Aggregator, error) {
+	outcomes, err := runTrialOutcomes(cfg, trials, deploy, channel, builder, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	agg := &runner.Aggregator{}
+	for _, o := range outcomes {
+		agg.Observe(o.rounds, o.solved)
+	}
+	return agg, nil
 }
 
 // sinrTrialRounds is trialRounds specialised to the default SINR channel.
 func sinrTrialRounds(cfg Config, trials int, n int, builder sim.Builder, maxRounds int) ([]float64, int, error) {
 	return trialRounds(cfg, trials,
+		func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
+		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+		builder,
+		sim.Config{MaxRounds: maxRounds},
+	)
+}
+
+// sinrTrialStats is sinrTrialRounds for summary-only callers (e.g. E7's
+// failure counting): same executions, online aggregation.
+func sinrTrialStats(cfg Config, trials int, n int, builder sim.Builder, maxRounds int) (*runner.Aggregator, error) {
+	return trialStats(cfg, trials,
 		func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
 		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
 		builder,
