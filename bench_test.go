@@ -168,31 +168,51 @@ func BenchmarkRunnerSequential(b *testing.B) { benchRunner(b, 1) }
 func BenchmarkRunnerParallel(b *testing.B) { benchRunner(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSINRDeliver measures one round of SINR delivery, the inner loop
-// of every fading-channel experiment.
+// of every fading-channel experiment, swept over deployment size, transmit
+// density, and delivery engine. "cached" is the precomputed-gain-matrix
+// engine (forced on regardless of size), "uncached" the on-the-fly fallback;
+// the two produce bit-identical receptions, so the ratio is pure speedup.
+// Sparse sets transmit n/32 nodes (late-protocol contention), dense n/5
+// (the default p = 0.2 of early rounds).
 func BenchmarkSINRDeliver(b *testing.B) {
-	for _, n := range []int{64, 256, 1024} {
-		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
-			d, err := geom.UniformDisk(1, n)
-			if err != nil {
-				b.Fatal(err)
+	for _, n := range []int{64, 512, 4096} {
+		for _, density := range []struct {
+			name  string
+			every int
+		}{{"sparse", 32}, {"dense", 5}} {
+			for _, engine := range []struct {
+				name string
+				opt  fadingcr.ChannelOption
+			}{
+				{"cached", fadingcr.WithGainCacheCap(0)},
+				{"uncached", fadingcr.WithGainCache(false)},
+			} {
+				name := "n=" + strconv.Itoa(n) + "/" + density.name + "/" + engine.name
+				b.Run(name, func(b *testing.B) {
+					d, err := geom.UniformDisk(1, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+					params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+					ch, err := sinr.New(params, d.Points, engine.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tx := make([]bool, n)
+					for i := 0; i < n; i += density.every {
+						tx[i] = true
+					}
+					recv := make([]int, n)
+					ch.Deliver(tx, recv) // warm the scratch buffers
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ch.Deliver(tx, recv)
+					}
+				})
 			}
-			params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
-			params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
-			ch, err := sinr.New(params, d.Points)
-			if err != nil {
-				b.Fatal(err)
-			}
-			tx := make([]bool, n)
-			for i := 0; i < n; i += 5 { // 20% transmitters, the default p
-				tx[i] = true
-			}
-			recv := make([]int, n)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ch.Deliver(tx, recv)
-			}
-		})
+		}
 	}
 }
 

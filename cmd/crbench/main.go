@@ -7,6 +7,7 @@
 //	crbench -ids E1,E3 -quick     # selected experiments, small sweeps
 //	crbench -format markdown -o results.md
 //	crbench -parallel 4 -timeout 10m
+//	crbench -gaincache off            # force on-the-fly SINR computation
 //
 // Trial loops run on the parallel Monte Carlo engine (internal/runner);
 // -parallel never changes results, only wall-clock time.
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"fadingcr/internal/experiments"
+	"fadingcr/internal/sinr"
 )
 
 func main() {
@@ -35,17 +37,21 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list the registered experiments and exit")
-		ids      = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
-		quick    = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		seed     = fs.Uint64("seed", 1, "master seed")
-		trials   = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
-		format   = fs.String("format", "text", "output format: text|markdown")
-		out      = fs.String("o", "", "write output to this file instead of stdout")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
-		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		list      = fs.Bool("list", false, "list the registered experiments and exit")
+		ids       = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
+		quick     = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		trials    = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
+		format    = fs.String("format", "text", "output format: text|markdown")
+		out       = fs.String("o", "", "write output to this file instead of stdout")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		gaincache = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := sinr.GainCacheOptions(*gaincache); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "markdown" {
@@ -93,7 +99,7 @@ func run(args []string, stdout io.Writer) error {
 		effective = runtime.GOMAXPROCS(0)
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx, GainCache: *gaincache}
 	runStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
@@ -112,7 +118,8 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(w, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d)\n",
-		len(selected), time.Since(runStart).Round(time.Millisecond), effective)
+	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d, gain cache %s: %s)\n",
+		len(selected), time.Since(runStart).Round(time.Millisecond), effective,
+		*gaincache, sinr.ReadGainCacheStats())
 	return nil
 }

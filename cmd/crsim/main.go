@@ -53,13 +53,17 @@ func run(args []string) error {
 		plot       = fs.Bool("plot", false, "render an ASCII scatter of the deployment and activity sparklines")
 		deployFile = fs.String("deploy-file", "", "load node positions from this CSV (x,y per line) instead of -deploy")
 		trials     = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
+		gaincache  = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
+	if err != nil {
+		return err
+	}
 
 	var d *geom.Deployment
-	var err error
 	if *deployFile != "" {
 		f, err := os.Open(*deployFile)
 		if err != nil {
@@ -90,12 +94,21 @@ func run(args []string) error {
 	params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
 
 	var ch sim.Channel
+	cacheBytes := int64(-1) // -1: channel has no gain cache (radio)
 	cfg := sim.Config{}
 	switch *channel {
 	case "sinr":
-		ch, err = sinr.New(params, d.Points)
+		var sc *sinr.Channel
+		if sc, err = sinr.New(params, d.Points, sinrOpts...); err == nil {
+			cacheBytes = sc.GainCacheBytes()
+		}
+		ch = sc
 	case "rayleigh":
-		ch, err = sinr.NewRayleigh(params, d.Points, *seed+1)
+		var rc *sinr.RayleighChannel
+		if rc, err = sinr.NewRayleigh(params, d.Points, *seed+1, sinrOpts...); err == nil {
+			cacheBytes = rc.GainCacheBytes()
+		}
+		ch = rc
 	case "radio":
 		ch, err = radio.New(d.N(), false)
 	case "radio-cd":
@@ -118,7 +131,16 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("deployment: %s, n=%d, R=%.4g (%d possible link classes)\n", *deploy, d.N(), d.R, d.LinkClassCount())
-	fmt.Printf("channel:    %s (α=%.3g β=%.3g N=%.3g P=%.4g)\n", *channel, params.Alpha, params.Beta, params.Noise, params.Power)
+	switch {
+	case cacheBytes > 0:
+		fmt.Printf("channel:    %s (α=%.3g β=%.3g N=%.3g P=%.4g, gain cache %s)\n",
+			*channel, params.Alpha, params.Beta, params.Noise, params.Power, sinr.FormatBytes(cacheBytes))
+	case cacheBytes == 0:
+		fmt.Printf("channel:    %s (α=%.3g β=%.3g N=%.3g P=%.4g, gain cache off)\n",
+			*channel, params.Alpha, params.Beta, params.Noise, params.Power)
+	default:
+		fmt.Printf("channel:    %s (α=%.3g β=%.3g N=%.3g P=%.4g)\n", *channel, params.Alpha, params.Beta, params.Noise, params.Power)
+	}
 	fmt.Printf("algorithm:  %s\n", builder.Name())
 
 	if *trials > 1 {

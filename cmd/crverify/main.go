@@ -42,12 +42,18 @@ func run(args []string) int {
 	seed := fs.Uint64("seed", 7, "master seed")
 	trials := fs.Int("trials", 15, "trials per estimated quantity")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
+	gaincache := fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crverify:", err)
 		return 2
 	}
 
 	start := time.Now()
-	v := &verifier{seed: *seed, trials: *trials, parallel: *parallel}
+	v := &verifier{seed: *seed, trials: *trials, parallel: *parallel, sinrOpts: sinrOpts}
 	checks := []struct {
 		id    string
 		claim string
@@ -76,11 +82,14 @@ func run(args []string) int {
 		fmt.Printf("%-4s %s  %s\n     evidence: %s\n", c.id, status, c.claim, evidence)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
+	cache := sinr.ReadGainCacheStats()
 	if failures > 0 {
-		fmt.Printf("\n%d/%d checks failed in %v (parallelism %d)\n", failures, len(checks), elapsed, v.effectiveParallelism())
+		fmt.Printf("\n%d/%d checks failed in %v (parallelism %d, gain cache %s: %s)\n",
+			failures, len(checks), elapsed, v.effectiveParallelism(), *gaincache, cache)
 		return 1
 	}
-	fmt.Printf("\nall %d checks passed in %v (parallelism %d)\n", len(checks), elapsed, v.effectiveParallelism())
+	fmt.Printf("\nall %d checks passed in %v (parallelism %d, gain cache %s: %s)\n",
+		len(checks), elapsed, v.effectiveParallelism(), *gaincache, cache)
 	return 0
 }
 
@@ -88,6 +97,13 @@ type verifier struct {
 	seed     uint64
 	trials   int
 	parallel int
+	sinrOpts []sinr.Option // gain-cache engine options for every SINR channel
+}
+
+// channelFor builds the default single-hop channel with the verifier's
+// gain-cache options applied.
+func (v *verifier) channelFor(p sinr.Params, d *geom.Deployment) (*sinr.Channel, error) {
+	return sinr.ChannelFor(p, d, v.sinrOpts...)
 }
 
 func (v *verifier) effectiveParallelism() int {
@@ -135,7 +151,7 @@ func (v *verifier) medianRounds(n int, b sim.Builder, budget int) (float64, int)
 		if err != nil {
 			return verifyOutcome{}, err
 		}
-		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
+		ch, err := v.channelFor(sinr.DefaultParams(), d)
 		if err != nil {
 			return verifyOutcome{}, err
 		}
@@ -275,7 +291,7 @@ func checkEmbedding(v *verifier) (bool, string) {
 		if err != nil {
 			return paired{}, err
 		}
-		ch, err := sinr.ChannelFor(sinr.DefaultParams(), pair)
+		ch, err := v.channelFor(sinr.DefaultParams(), pair)
 		if err != nil {
 			return paired{}, err
 		}
@@ -317,7 +333,7 @@ func checkWhp(v *verifier) (bool, string) {
 		if err != nil {
 			return verifyOutcome{}, err
 		}
-		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
+		ch, err := v.channelFor(sinr.DefaultParams(), d)
 		if err != nil {
 			return verifyOutcome{}, err
 		}
@@ -357,7 +373,7 @@ func checkEnergy(v *verifier) (bool, string) {
 		if err != nil {
 			return verifyOutcome{}, err
 		}
-		ch, err := sinr.ChannelFor(sinr.DefaultParams(), d)
+		ch, err := v.channelFor(sinr.DefaultParams(), d)
 		if err != nil {
 			return verifyOutcome{}, err
 		}

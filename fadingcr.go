@@ -95,11 +95,38 @@ type (
 	Experiment = experiments.Experiment
 	// ExperimentConfig scales an experiment run.
 	ExperimentConfig = experiments.Config
+
+	// ChannelOption configures an SINR channel's gain-cache delivery
+	// engine; options change speed and memory, never results.
+	ChannelOption = sinr.Option
+	// GainCacheStats is a snapshot of the process-wide gain-cache
+	// construction counters.
+	GainCacheStats = sinr.GainCacheStats
 )
 
 // DefaultSingleHopMargin is the paper's constant c ≥ 4 in the single-hop
 // power condition P > c·β·N·d^α.
 const DefaultSingleHopMargin = sinr.DefaultSingleHopMargin
+
+// DefaultGainCacheCap is the default memory cap for one channel's
+// precomputed gain matrix; larger deployments fall back to on-the-fly
+// attenuation computation.
+const DefaultGainCacheCap = sinr.DefaultGainCacheCap
+
+// Gain-cache delivery engine controls. Every SINR channel precomputes the
+// pairwise attenuation matrix by default (up to DefaultGainCacheCap) and
+// delivers rounds allocation-free from the cached rows; these options tune
+// or disable that engine without ever changing delivery results.
+var (
+	// WithGainCache enables (default) or disables the precomputed matrix.
+	WithGainCache = sinr.WithGainCache
+	// WithGainCacheCap bounds the matrix size in bytes (≤ 0 = unlimited).
+	WithGainCacheCap = sinr.WithGainCacheCap
+	// GainCacheOptions parses a mode string ("auto"|"on"|"off") into options.
+	GainCacheOptions = sinr.GainCacheOptions
+	// ReadGainCacheStats snapshots the process-wide cache counters.
+	ReadGainCacheStats = sinr.ReadGainCacheStats
+)
 
 // Deployment generators.
 var (

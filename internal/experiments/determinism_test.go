@@ -44,6 +44,41 @@ func TestParallelismInvariance(t *testing.T) {
 	}
 }
 
+// TestGainCacheInvariance is the determinism regression of the gain-cached
+// delivery engine: a representative experiment must render byte-identical
+// tables whether channels precompute the pairwise gain matrix ("on"),
+// compute attenuations on the fly ("off"), or pick per channel ("auto").
+// Both engines perform the per-listener float operations in the same order,
+// so the engine choice must never leak into results.
+func TestGainCacheInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	base := renderAll(t, "E1", Config{Seed: 42, Quick: true, Trials: 6, GainCache: "on"})
+	for _, mode := range []string{"off", "auto"} {
+		if got := renderAll(t, "E1", Config{Seed: 42, Quick: true, Trials: 6, GainCache: mode}); got != base {
+			t.Errorf("E1 tables with gain cache %q differ from %q", mode, "on")
+		}
+	}
+	// E12 covers the Rayleigh channel's cached fade path.
+	rBase := renderAll(t, "E12", Config{Seed: 7, Quick: true, Trials: 3, GainCache: "on"})
+	if got := renderAll(t, "E12", Config{Seed: 7, Quick: true, Trials: 3, GainCache: "off"}); got != rBase {
+		t.Error("E12 tables differ between gain cache on and off")
+	}
+}
+
+// TestGainCacheModeRejected: an invalid mode surfaces as an experiment
+// error rather than being silently treated as a default.
+func TestGainCacheModeRejected(t *testing.T) {
+	e, ok := ByID("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, err := e.Run(Config{Seed: 1, Quick: true, Trials: 2, GainCache: "banana"}); err == nil {
+		t.Error("invalid gain-cache mode accepted")
+	}
+}
+
 // TestParallelismInvarianceAcrossSuite spot-checks the converted
 // per-experiment loops (analyzer traces, hitting games, paired embeddings,
 // energy medians, capacity sweeps) at a second parallelism.

@@ -46,7 +46,7 @@ func e15() Experiment {
 						}
 						return d.Subset(idx)
 					},
-					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(cfg, DefaultParams(), d) },
 					core.FixedProbability{},
 					sim.Config{MaxRounds: 4 * e1Budget(n)},
 				)
@@ -98,7 +98,7 @@ func e15Embedding(cfg Config) (*table.Table, error) {
 		if err != nil {
 			return paired{}, err
 		}
-		ch, err := channelFor(DefaultParams(), pair)
+		ch, err := channelFor(cfg, DefaultParams(), pair)
 		if err != nil {
 			return paired{}, err
 		}

@@ -81,7 +81,7 @@ func e16Median(cfg Config, trials, n int, builder sim.Builder, channel string) (
 			var d *geom.Deployment
 			d, err = geom.UniformDisk(dseed, n)
 			if err == nil {
-				ch, err = channelFor(DefaultParams(), d)
+				ch, err = channelFor(cfg, DefaultParams(), d)
 			}
 		case "radio":
 			ch, err = radio.New(n, false)

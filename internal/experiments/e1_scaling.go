@@ -118,7 +118,7 @@ func e2() Experiment {
 						}
 						return d, err
 					},
-					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(cfg, DefaultParams(), d) },
 					core.FixedProbability{},
 					sim.Config{MaxRounds: e1Budget(n) + 40*m},
 				)

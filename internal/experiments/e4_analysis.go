@@ -44,7 +44,7 @@ func e4() Experiment {
 				if err != nil {
 					return traced{}, err
 				}
-				ch, err := channelFor(DefaultParams(), d)
+				ch, err := channelFor(cfg, DefaultParams(), d)
 				if err != nil {
 					return traced{}, err
 				}

@@ -154,7 +154,7 @@ func e9() Experiment {
 				params.Alpha = alpha
 				rounds, unsolved, err := trialRounds(cfg, trials,
 					func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
-					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(params, d) },
+					func(d *geom.Deployment) (sim.Channel, error) { return channelFor(cfg, params, d) },
 					core.FixedProbability{},
 					sim.Config{MaxRounds: 2000},
 				)

@@ -34,6 +34,16 @@ type Config struct {
 	// Context, when non-nil, cancels in-flight trial loops (deadline or
 	// interrupt); a canceled experiment returns the context's error.
 	Context context.Context
+	// GainCache selects the SINR delivery engine for every channel the
+	// experiment builds: "" or "auto" precomputes pairwise gains up to the
+	// default memory cap, "on" caches regardless of size, "off" forces
+	// on-the-fly computation. Results are bit-identical in every mode.
+	GainCache string
+}
+
+// sinrOptions translates the GainCache mode into channel options.
+func (c Config) sinrOptions() ([]sinr.Option, error) {
+	return sinr.GainCacheOptions(c.GainCache)
 }
 
 // ctx returns the configured context, defaulting to context.Background.
@@ -120,9 +130,14 @@ func DefaultParams() sinr.Params {
 
 // channelFor builds a single-hop SINR channel over the deployment with the
 // given parameters, deriving the minimum feasible power when p.Power is 0.
-// It is sinr.ChannelFor, the one shared definition of the derivation.
-func channelFor(p sinr.Params, d *geom.Deployment) (*sinr.Channel, error) {
-	return sinr.ChannelFor(p, d)
+// It is sinr.ChannelFor, the one shared definition of the derivation, with
+// the Config's gain-cache mode applied.
+func channelFor(cfg Config, p sinr.Params, d *geom.Deployment) (*sinr.Channel, error) {
+	opts, err := cfg.sinrOptions()
+	if err != nil {
+		return nil, err
+	}
+	return sinr.ChannelFor(p, d, opts...)
 }
 
 // trialOutcome is one execution's contribution to a trial loop.
@@ -212,7 +227,7 @@ func trialStats(
 func sinrTrialRounds(cfg Config, trials int, n int, builder sim.Builder, maxRounds int) ([]float64, int, error) {
 	return trialRounds(cfg, trials,
 		func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
-		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(cfg, DefaultParams(), d) },
 		builder,
 		sim.Config{MaxRounds: maxRounds},
 	)
@@ -223,7 +238,7 @@ func sinrTrialRounds(cfg Config, trials int, n int, builder sim.Builder, maxRoun
 func sinrTrialStats(cfg Config, trials int, n int, builder sim.Builder, maxRounds int) (*runner.Aggregator, error) {
 	return trialStats(cfg, trials,
 		func(seed uint64) (*geom.Deployment, error) { return geom.UniformDisk(seed, n) },
-		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(DefaultParams(), d) },
+		func(d *geom.Deployment) (sim.Channel, error) { return channelFor(cfg, DefaultParams(), d) },
 		builder,
 		sim.Config{MaxRounds: maxRounds},
 	)

@@ -1,0 +1,225 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"fadingcr/internal/geom"
+)
+
+// The gain-cache delivery engine.
+//
+// A channel's node positions are immutable for its lifetime, so the geometric
+// part of every SINR term — the attenuation d(u,v)^{-α} — is a constant of
+// the deployment. New precomputes the full pairwise attenuation matrix as a
+// flat row-major []float64 (row u holds the gains from transmitter u to every
+// listener), and Deliver then runs a transmitter-major two-pass accumulation
+// over the cached rows instead of recomputing a math.Pow/sqrt per
+// (transmitter, listener) pair per round. The matrix costs 8·n² bytes; above
+// the configured cap the channel transparently falls back to the on-the-fly
+// engine. Both engines perform the per-listener floating-point operations in
+// the same order (signals summed in ascending transmitter index, first
+// strict maximum wins), so every reception decision — and every experiment
+// table derived from one — is bit-identical in every mode.
+
+// DefaultGainCacheCap is the default memory cap for one channel's gain
+// matrix: 64 MiB, enough to cache deployments up to n = 2896. Larger
+// channels fall back to on-the-fly computation unless the cap is raised
+// with WithGainCacheCap.
+const DefaultGainCacheCap = 64 << 20
+
+// engineConfig is the resolved delivery-engine configuration of a channel.
+type engineConfig struct {
+	cache bool  // precompute the gain matrix at New time
+	cap   int64 // largest matrix to cache, in bytes
+}
+
+// Option configures a channel's delivery engine. Options never change
+// delivery results, only how (and how fast) they are computed.
+type Option func(*engineConfig)
+
+// WithGainCache enables (the default) or disables the precomputed pairwise
+// gain matrix. Disabled channels compute every attenuation on the fly.
+func WithGainCache(enabled bool) Option {
+	return func(ec *engineConfig) { ec.cache = enabled }
+}
+
+// WithGainCacheCap sets the largest gain matrix (in bytes, 8·n² for n nodes)
+// a channel may cache; larger deployments fall back to on-the-fly
+// computation. A non-positive cap removes the limit.
+func WithGainCacheCap(bytes int64) Option {
+	return func(ec *engineConfig) {
+		if bytes <= 0 {
+			ec.cap = math.MaxInt64
+			return
+		}
+		ec.cap = bytes
+	}
+}
+
+// GainCacheOptions translates a CLI-style mode string into engine options:
+// "auto" (or "") caches up to DefaultGainCacheCap, "on" caches regardless of
+// size, "off" forces on-the-fly computation.
+func GainCacheOptions(mode string) ([]Option, error) {
+	switch mode {
+	case "", "auto":
+		return nil, nil
+	case "on":
+		return []Option{WithGainCache(true), WithGainCacheCap(0)}, nil
+	case "off":
+		return []Option{WithGainCache(false)}, nil
+	default:
+		return nil, fmt.Errorf("sinr: unknown gain-cache mode %q (want auto|on|off)", mode)
+	}
+}
+
+// resolveEngine applies options over the defaults.
+func resolveEngine(opts []Option) engineConfig {
+	ec := engineConfig{cache: true, cap: DefaultGainCacheCap}
+	for _, o := range opts {
+		o(&ec)
+	}
+	return ec
+}
+
+// gainCache is the precomputed attenuation matrix of a deployment:
+// g[u*n+v] = d(u,v)^{-α}. The diagonal is +Inf (zero distance); it is only
+// ever read for transmitting listeners, whose receptions are masked.
+type gainCache struct {
+	n int
+	g []float64
+}
+
+// row returns the gains from transmitter u to every listener.
+func (gc *gainCache) row(u int) []float64 {
+	return gc.g[u*gc.n : (u+1)*gc.n]
+}
+
+// at returns the gain from transmitter u to listener v.
+func (gc *gainCache) at(u, v int) float64 { return gc.g[u*gc.n+v] }
+
+// bytes returns the matrix footprint.
+func (gc *gainCache) bytes() int64 { return int64(gc.n) * int64(gc.n) * 8 }
+
+// newGainCache precomputes the matrix, or returns nil when the engine
+// configuration disables caching or the matrix would exceed the cap. The
+// matrix is symmetric, so only the upper triangle is computed and mirrored
+// (Dist2 and attenuation are bitwise symmetric in their arguments).
+func newGainCache(pts []geom.Point, alpha float64, ec engineConfig) *gainCache {
+	n := len(pts)
+	if !ec.cache || int64(n)*int64(n)*8 > ec.cap {
+		gcStats.fallback.Add(1)
+		return nil
+	}
+	g := make([]float64, n*n)
+	for u := 0; u < n; u++ {
+		row := g[u*n : (u+1)*n]
+		row[u] = attenuation(0, alpha) // +Inf; masked for transmitters
+		for v := u + 1; v < n; v++ {
+			a := attenuation(pts[u].Dist2(pts[v]), alpha)
+			row[v] = a
+			g[v*n+u] = a
+		}
+	}
+	gc := &gainCache{n: n, g: g}
+	gcStats.cached.Add(1)
+	for {
+		max := gcStats.maxBytes.Load()
+		if gc.bytes() <= max || gcStats.maxBytes.CompareAndSwap(max, gc.bytes()) {
+			break
+		}
+	}
+	return gc
+}
+
+// deliverScratch holds the channel-owned buffers a steady-state Deliver
+// reuses so it performs zero allocations: the transmitter index list, the
+// per-listener running interference totals, and the per-listener strongest
+// signal and its sender. Sharing the scratch is why channels are not safe
+// for concurrent use.
+type deliverScratch struct {
+	txList  []int
+	totals  []float64
+	best    []float64
+	bestU   []int
+	signals []float64
+}
+
+// newDeliverScratch preallocates every buffer at channel-construction time.
+// cached selects whether the transmitter-major accumulator arrays are
+// needed; the on-the-fly engine only uses the index list and signal buffer.
+func newDeliverScratch(n int, cached bool) deliverScratch {
+	s := deliverScratch{
+		txList:  make([]int, 0, n),
+		signals: make([]float64, 0, n),
+	}
+	if cached {
+		s.totals = make([]float64, n)
+		s.best = make([]float64, n)
+		s.bestU = make([]int, n)
+	}
+	return s
+}
+
+// indices collects the transmitting node indices into the reusable list.
+func (s *deliverScratch) indices(tx []bool) []int {
+	out := s.txList[:0]
+	for u, t := range tx {
+		if t {
+			out = append(out, u)
+		}
+	}
+	s.txList = out
+	return out
+}
+
+// gcStats are process-wide gain-cache construction counters, reported by the
+// CLIs' summary lines. Channels are built per trial across worker
+// goroutines, so the counters are atomic.
+var gcStats struct {
+	cached   atomic.Int64
+	fallback atomic.Int64
+	maxBytes atomic.Int64
+}
+
+// GainCacheStats is a snapshot of the process-wide gain-cache counters.
+type GainCacheStats struct {
+	// Cached counts channels built with a precomputed gain matrix.
+	Cached int64
+	// Fallback counts channels that computed attenuations on the fly
+	// (cache disabled or matrix over the memory cap).
+	Fallback int64
+	// MaxBytes is the largest single matrix built.
+	MaxBytes int64
+}
+
+// ReadGainCacheStats snapshots the counters. They are cumulative for the
+// process; callers wanting per-run numbers should difference two snapshots.
+func ReadGainCacheStats() GainCacheStats {
+	return GainCacheStats{
+		Cached:   gcStats.cached.Load(),
+		Fallback: gcStats.fallback.Load(),
+		MaxBytes: gcStats.maxBytes.Load(),
+	}
+}
+
+// String renders the snapshot for a summary line, e.g.
+// "142 cached / 0 fallback, max 8.0 MiB".
+func (s GainCacheStats) String() string {
+	return fmt.Sprintf("%d cached / %d fallback, max %s", s.Cached, s.Fallback, FormatBytes(s.MaxBytes))
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,294 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+
+	"fadingcr/internal/geom"
+	"fadingcr/internal/xrand"
+)
+
+// equivalenceParams sweeps the physical constants the cross-implementation
+// tests run under, deliberately including path-loss exponents off the
+// attenuation fast paths (α ∉ {2, 3, 4, 6}).
+var equivalenceParams = []Params{
+	{Alpha: 3, Beta: 1.5, Noise: 1, Power: 0}, // Power derived per deployment
+	{Alpha: 2, Beta: 1, Noise: 0.25, Power: 0},
+	{Alpha: 2.7, Beta: 1.5, Noise: 1, Power: 0},
+	{Alpha: 4, Beta: 0.5, Noise: 0.1, Power: 0},
+	{Alpha: 5.3, Beta: 0.8, Noise: 0, Power: 0},
+	{Alpha: 6, Beta: 2, Noise: 2, Power: 0},
+}
+
+// equivGeometry returns a randomized deployment plus a transmit vector with
+// roughly the given density.
+func equivGeometry(t *testing.T, seed uint64, n int, density float64) (*geom.Deployment, []bool) {
+	t.Helper()
+	d, err := geom.UniformDisk(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(seed + 1)
+	tx := make([]bool, n)
+	for i := range tx {
+		tx[i] = rng.Float64() < density
+	}
+	return d, tx
+}
+
+func fillPower(p Params, d *geom.Deployment) Params {
+	if p.Power == 0 {
+		p.Power = MinSingleHopPower(p.Alpha, p.Beta, p.Noise, d.R, DefaultSingleHopMargin)
+	}
+	return p
+}
+
+// TestCachedMatchesUncachedChannel: the gain-cached engine and the
+// on-the-fly engine produce bit-identical Deliver, Receivable, and
+// InterferenceAt results over randomized geometries, transmit densities,
+// and parameter sets.
+func TestCachedMatchesUncachedChannel(t *testing.T) {
+	for pi, base := range equivalenceParams {
+		for _, n := range []int{2, 7, 33, 128} {
+			for _, density := range []float64{0, 0.1, 0.5, 1} {
+				seed := uint64(pi*1000 + n)
+				d, tx := equivGeometry(t, seed, n, density)
+				p := fillPower(base, d)
+				cached, err := New(p, d.Points, WithGainCacheCap(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cached.GainCacheBytes() == 0 {
+					t.Fatalf("α=%v n=%d: cache expected but absent", p.Alpha, n)
+				}
+				direct, err := New(p, d.Points, WithGainCache(false))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if direct.GainCacheBytes() != 0 {
+					t.Fatalf("α=%v n=%d: WithGainCache(false) still cached", p.Alpha, n)
+				}
+
+				ra, rb := make([]int, n), make([]int, n)
+				cached.Deliver(tx, ra)
+				direct.Deliver(tx, rb)
+				for v := range ra {
+					if ra[v] != rb[v] {
+						t.Fatalf("α=%v n=%d density=%v listener %d: cached recv %d, uncached %d",
+							p.Alpha, n, density, v, ra[v], rb[v])
+					}
+				}
+
+				for v := 0; v < n; v++ {
+					sa, sb := cached.Receivable(tx, v), direct.Receivable(tx, v)
+					if len(sa) != len(sb) {
+						t.Fatalf("α=%v n=%d listener %d: Receivable %v vs %v", p.Alpha, n, v, sa, sb)
+					}
+					for i := range sa {
+						if sa[i] != sb[i] {
+							t.Fatalf("α=%v n=%d listener %d: Receivable %v vs %v", p.Alpha, n, v, sa, sb)
+						}
+					}
+					ia, ib := cached.InterferenceAt(tx, v), direct.InterferenceAt(tx, v)
+					if math.Float64bits(ia) != math.Float64bits(ib) {
+						t.Fatalf("α=%v n=%d listener %d: InterferenceAt %v vs %v (not bit-identical)",
+							p.Alpha, n, v, ia, ib)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCachedMatchesUncachedPowerChannel: same equivalence for the
+// per-node-power channel, with heterogeneous powers.
+func TestCachedMatchesUncachedPowerChannel(t *testing.T) {
+	for pi, base := range equivalenceParams {
+		for _, n := range []int{3, 24, 90} {
+			seed := uint64(pi*500 + n)
+			d, tx := equivGeometry(t, seed, n, 0.4)
+			p := fillPower(base, d)
+			rng := xrand.New(seed + 2)
+			powers := make([]float64, n)
+			for i := range powers {
+				powers[i] = p.Power * (0.5 + rng.Float64())
+			}
+			cached, err := NewWithPowers(p, d.Points, powers, WithGainCacheCap(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := NewWithPowers(p, d.Points, powers, WithGainCache(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, rb := make([]int, n), make([]int, n)
+			cached.Deliver(tx, ra)
+			direct.Deliver(tx, rb)
+			for v := range ra {
+				if ra[v] != rb[v] {
+					t.Fatalf("α=%v n=%d listener %d: cached recv %d, uncached %d", p.Alpha, n, v, ra[v], rb[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCachedMatchesUncachedRayleigh: with equal seeds the Rayleigh channel
+// draws identical fades in both modes, so receptions must stay
+// bit-identical across rounds too.
+func TestCachedMatchesUncachedRayleigh(t *testing.T) {
+	for pi, base := range equivalenceParams {
+		n := 40
+		d, tx := equivGeometry(t, uint64(pi*77+5), n, 0.3)
+		p := fillPower(base, d)
+		cached, err := NewRayleigh(p, d.Points, 99, WithGainCacheCap(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := NewRayleigh(p, d.Points, 99, WithGainCache(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := make([]int, n), make([]int, n)
+		for round := 0; round < 10; round++ {
+			cached.Deliver(tx, ra)
+			direct.Deliver(tx, rb)
+			for v := range ra {
+				if ra[v] != rb[v] {
+					t.Fatalf("α=%v round %d listener %d: cached recv %d, uncached %d",
+						p.Alpha, round, v, ra[v], rb[v])
+				}
+			}
+		}
+	}
+}
+
+// TestGainCacheCapFallback: a channel whose matrix exceeds the cap falls
+// back transparently — no cache, identical results.
+func TestGainCacheCapFallback(t *testing.T) {
+	d, tx := equivGeometry(t, 11, 64, 0.3)
+	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
+	// 64 nodes need 64²·8 = 32768 bytes; cap one byte below that.
+	over, err := New(p, d.Points, WithGainCacheCap(32767))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := over.GainCacheBytes(); got != 0 {
+		t.Fatalf("cache built over the cap: %d bytes", got)
+	}
+	at, err := New(p, d.Points, WithGainCacheCap(32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := at.GainCacheBytes(); got != 32768 {
+		t.Fatalf("cache at the cap: got %d bytes, want 32768", got)
+	}
+	ra, rb := make([]int, 64), make([]int, 64)
+	over.Deliver(tx, ra)
+	at.Deliver(tx, rb)
+	for v := range ra {
+		if ra[v] != rb[v] {
+			t.Fatalf("listener %d: fallback recv %d, cached %d", v, ra[v], rb[v])
+		}
+	}
+}
+
+// TestGainCacheOptionsModes exercises the CLI mode parser.
+func TestGainCacheOptionsModes(t *testing.T) {
+	for _, mode := range []string{"", "auto", "on", "off"} {
+		if _, err := GainCacheOptions(mode); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+	if _, err := GainCacheOptions("sometimes"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	d, _ := equivGeometry(t, 3, 16, 0)
+	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
+	offOpts, _ := GainCacheOptions("off")
+	ch, err := New(p, d.Points, offOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.GainCacheBytes() != 0 {
+		t.Error(`mode "off" still built a cache`)
+	}
+	onOpts, _ := GainCacheOptions("on")
+	ch, err = New(p, d.Points, onOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.GainCacheBytes() != 16*16*8 {
+		t.Errorf(`mode "on" cache = %d bytes, want %d`, ch.GainCacheBytes(), 16*16*8)
+	}
+}
+
+// TestDeliverZeroAllocsSteadyState: after the first call, Deliver allocates
+// nothing in either engine, for all three channel types.
+func TestDeliverZeroAllocsSteadyState(t *testing.T) {
+	const n = 96
+	d, tx := equivGeometry(t, 21, n, 0.25)
+	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
+	recv := make([]int, n)
+	powers := UniformPowers(n, p.Power)
+
+	channels := []struct {
+		name string
+		ch   interface{ Deliver(tx []bool, recv []int) }
+	}{}
+	addChannel := func(name string, ch interface{ Deliver(tx []bool, recv []int) }, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		channels = append(channels, struct {
+			name string
+			ch   interface{ Deliver(tx []bool, recv []int) }
+		}{name, ch})
+	}
+	c1, err := New(p, d.Points)
+	addChannel("sinr/cached", c1, err)
+	c2, err := New(p, d.Points, WithGainCache(false))
+	addChannel("sinr/uncached", c2, err)
+	c3, err := NewWithPowers(p, d.Points, powers)
+	addChannel("power/cached", c3, err)
+	c4, err := NewWithPowers(p, d.Points, powers, WithGainCache(false))
+	addChannel("power/uncached", c4, err)
+	c5, err := NewRayleigh(p, d.Points, 7)
+	addChannel("rayleigh/cached", c5, err)
+	c6, err := NewRayleigh(p, d.Points, 7, WithGainCache(false))
+	addChannel("rayleigh/uncached", c6, err)
+
+	for _, tc := range channels {
+		tc.ch.Deliver(tx, recv) // warm the scratch buffers
+		if allocs := testing.AllocsPerRun(50, func() { tc.ch.Deliver(tx, recv) }); allocs != 0 {
+			t.Errorf("%s: steady-state Deliver allocates %.1f times per call, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestGainCacheStatsCounters: building channels moves the process-wide
+// counters the CLI summary lines report.
+func TestGainCacheStatsCounters(t *testing.T) {
+	before := ReadGainCacheStats()
+	d, _ := equivGeometry(t, 31, 32, 0)
+	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
+	if _, err := New(p, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, d.Points, WithGainCache(false)); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadGainCacheStats()
+	if after.Cached != before.Cached+1 {
+		t.Errorf("Cached %d → %d, want +1", before.Cached, after.Cached)
+	}
+	if after.Fallback != before.Fallback+1 {
+		t.Errorf("Fallback %d → %d, want +1", before.Fallback, after.Fallback)
+	}
+	if after.MaxBytes < 32*32*8 {
+		t.Errorf("MaxBytes %d < %d", after.MaxBytes, 32*32*8)
+	}
+	if s := after.String(); s == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -14,16 +14,21 @@ import (
 // channel exists so the repository can also exercise the power-control
 // regime the related work ([11]) discusses, and so tests can probe how
 // sensitive the algorithm is to power heterogeneity (e.g. hardware spread).
+// It is not safe for concurrent use (it owns reusable delivery scratch
+// buffers); create one channel per goroutine.
 type PowerChannel struct {
-	params Params // Power field unused per-node; kept for α, β, N
-	powers []float64
-	pts    []geom.Point
+	params  Params // Power field unused per-node; kept for α, β, N
+	powers  []float64
+	pts     []geom.Point
+	gains   *gainCache // nil: compute attenuations on the fly
+	scratch deliverScratch
 }
 
 // NewWithPowers builds a per-node-power channel. powers[u] is node u's
 // transmission power; all must be positive and finite. The Power field of
-// params is ignored.
-func NewWithPowers(params Params, pts []geom.Point, powers []float64) (*PowerChannel, error) {
+// params is ignored. Options configure the gain-cache delivery engine as in
+// New.
+func NewWithPowers(params Params, pts []geom.Point, powers []float64, opts ...Option) (*PowerChannel, error) {
 	probe := params
 	probe.Power = 1 // validate the shared constants independently of Power
 	if err := probe.Validate(); err != nil {
@@ -44,11 +49,27 @@ func NewWithPowers(params Params, pts []geom.Point, powers []float64) (*PowerCha
 	copy(cpPts, pts)
 	cpPow := make([]float64, len(powers))
 	copy(cpPow, powers)
-	return &PowerChannel{params: params, powers: cpPow, pts: cpPts}, nil
+	gains := newGainCache(cpPts, params.Alpha, resolveEngine(opts))
+	return &PowerChannel{
+		params:  params,
+		powers:  cpPow,
+		pts:     cpPts,
+		gains:   gains,
+		scratch: newDeliverScratch(len(cpPts), gains != nil),
+	}, nil
 }
 
 // N returns the number of nodes on the channel.
 func (c *PowerChannel) N() int { return len(c.pts) }
+
+// GainCacheBytes returns the footprint of the channel's precomputed gain
+// matrix, or 0 when the channel computes attenuations on the fly.
+func (c *PowerChannel) GainCacheBytes() int64 {
+	if c.gains == nil {
+		return 0
+	}
+	return c.gains.bytes()
+}
 
 // Powers returns a copy of the per-node power assignment.
 func (c *PowerChannel) Powers() []float64 {
@@ -61,7 +82,11 @@ func (c *PowerChannel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
-	txList := txIndices(tx)
+	txList := c.scratch.indices(tx)
+	if c.gains != nil {
+		c.deliverCached(txList, tx, recv)
+		return
+	}
 	for v := range c.pts {
 		recv[v] = -1
 		if tx[v] || len(txList) == 0 {
@@ -77,6 +102,42 @@ func (c *PowerChannel) Deliver(tx []bool, recv []int) {
 		}
 		if c.params.SINR(best, total-best) >= c.params.Beta {
 			recv[v] = bestU
+		}
+	}
+}
+
+// deliverCached is Channel.deliverCached with the per-transmitter power in
+// place of the shared constant; the bit-identical-order argument carries
+// over unchanged.
+func (c *PowerChannel) deliverCached(txList []int, tx []bool, recv []int) {
+	if len(txList) == 0 {
+		for v := range recv {
+			recv[v] = -1
+		}
+		return
+	}
+	totals, best, bestU := c.scratch.totals, c.scratch.best, c.scratch.bestU
+	for v := range totals {
+		totals[v], best[v], bestU[v] = 0, -1, -1
+	}
+	for _, u := range txList {
+		row := c.gains.row(u)
+		power := c.powers[u]
+		for v, g := range row {
+			s := power * g
+			totals[v] += s
+			if s > best[v] {
+				best[v], bestU[v] = s, u
+			}
+		}
+	}
+	for v := range recv {
+		recv[v] = -1
+		if tx[v] {
+			continue
+		}
+		if c.params.SINR(best[v], totals[v]-best[v]) >= c.params.Beta {
+			recv[v] = bestU[v]
 		}
 	}
 }

@@ -22,14 +22,19 @@ import (
 // two channels with equal seeds, deployments, and transmit histories fades
 // identically.
 type RayleighChannel struct {
-	params Params
-	pts    []geom.Point
-	seed   uint64
-	round  uint64
+	params  Params
+	pts     []geom.Point
+	seed    uint64
+	round   uint64
+	gains   *gainCache // nil: compute attenuations on the fly
+	scratch deliverScratch
+	rng     *xrand.Reseedable // reseeded per round; avoids per-Deliver allocations
 }
 
-// NewRayleigh builds a Rayleigh-faded channel over the deployment.
-func NewRayleigh(params Params, pts []geom.Point, seed uint64) (*RayleighChannel, error) {
+// NewRayleigh builds a Rayleigh-faded channel over the deployment. Options
+// configure the gain-cache delivery engine as in New; the per-round fades
+// are drawn identically in every mode, so results never depend on it.
+func NewRayleigh(params Params, pts []geom.Point, seed uint64, opts ...Option) (*RayleighChannel, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +43,14 @@ func NewRayleigh(params Params, pts []geom.Point, seed uint64) (*RayleighChannel
 	}
 	cp := make([]geom.Point, len(pts))
 	copy(cp, pts)
-	return &RayleighChannel{params: params, pts: cp, seed: seed}, nil
+	return &RayleighChannel{
+		params:  params,
+		pts:     cp,
+		seed:    seed,
+		gains:   newGainCache(cp, params.Alpha, resolveEngine(opts)),
+		scratch: newDeliverScratch(len(cp), false),
+		rng:     xrand.NewReseedable(0),
+	}, nil
 }
 
 // N returns the number of nodes on the channel.
@@ -47,15 +59,39 @@ func (c *RayleighChannel) N() int { return len(c.pts) }
 // Params returns the channel's physical-layer parameters.
 func (c *RayleighChannel) Params() Params { return c.params }
 
+// GainCacheBytes returns the footprint of the channel's precomputed gain
+// matrix, or 0 when the channel computes attenuations on the fly.
+func (c *RayleighChannel) GainCacheBytes() int64 {
+	if c.gains == nil {
+		return 0
+	}
+	return c.gains.bytes()
+}
+
+// signal returns the unfaded signal strength of transmitter u at listener v,
+// from the cached gain row when available; both branches compute bit-equal
+// values (see Channel.signal).
+func (c *RayleighChannel) signal(u, v int) float64 {
+	if c.gains != nil {
+		return c.params.Power * c.gains.at(u, v)
+	}
+	return c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+}
+
 // Deliver computes one round of reception under fresh per-pair fades. The
 // contract matches Channel.Deliver.
 func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
-	rng := xrand.New(xrand.Split(c.seed, c.round))
+	// Fades are consumed in listener-major order (the loop below), so the
+	// engine keeps that structure — only the attenuation lookup is cached.
+	// Restructuring transmitter-major would reorder the rng draws and change
+	// results; see the determinism contract in the type comment.
+	c.rng.Reseed(xrand.Split(c.seed, c.round))
+	rng := c.rng.Rand
 	c.round++
-	txList := txIndices(tx)
+	txList := c.scratch.indices(tx)
 	for v := range c.pts {
 		recv[v] = -1
 		if tx[v] || len(txList) == 0 {
@@ -63,7 +99,7 @@ func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 		}
 		best, bestU, total := -1.0, -1, 0.0
 		for _, u := range txList {
-			s := c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v])) * expFade(rng)
+			s := c.signal(u, v) * expFade(rng)
 			total += s
 			if s > best {
 				best, bestU = s, u

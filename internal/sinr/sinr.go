@@ -90,6 +90,13 @@ func (p Params) SINR(signal, interference float64) float64 {
 	return signal / (p.Noise + interference)
 }
 
+// powerCondition is the right-hand side margin·β·N·maxDist^α of the paper's
+// single-hop condition, shared by MinSingleHopPower and SingleHopFeasible so
+// the formula cannot drift between the derivation and the check.
+func powerCondition(alpha, beta, noise, maxDist, margin float64) float64 {
+	return margin * beta * noise * math.Pow(maxDist, alpha)
+}
+
 // MinSingleHopPower returns the smallest power satisfying the paper's
 // single-hop condition P > margin·β·N·maxDist^α with a small head-room
 // factor, so that every node pair can communicate in the absence of
@@ -99,26 +106,31 @@ func MinSingleHopPower(alpha, beta, noise, maxDist, margin float64) float64 {
 	if noise == 0 {
 		return 1
 	}
-	return margin * beta * noise * math.Pow(maxDist, alpha) * 1.01
+	return powerCondition(alpha, beta, noise, maxDist, margin) * 1.01
 }
 
 // SingleHopFeasible reports whether the parameters satisfy the single-hop
 // condition P > margin·β·N·maxDist^α for the given maximum link length.
 func (p Params) SingleHopFeasible(maxDist, margin float64) bool {
-	return p.Power > margin*p.Beta*p.Noise*math.Pow(maxDist, p.Alpha)
+	return p.Power > powerCondition(p.Alpha, p.Beta, p.Noise, maxDist, margin)
 }
 
 // Channel is the deterministic SINR channel over a fixed deployment. It is
-// not safe for concurrent use; create one channel per goroutine.
+// not safe for concurrent use (it owns reusable delivery scratch buffers);
+// create one channel per goroutine.
 type Channel struct {
-	params Params
-	pts    []geom.Point
+	params  Params
+	pts     []geom.Point
+	gains   *gainCache // nil: compute attenuations on the fly
+	scratch deliverScratch
 }
 
 // New builds a channel for the given parameters and node positions. It
 // returns an error if the parameters are invalid or fewer than one node is
-// given.
-func New(params Params, pts []geom.Point) (*Channel, error) {
+// given. By default the channel precomputes the pairwise gain matrix (see
+// the gain-cache notes in this package) up to DefaultGainCacheCap; options
+// adjust that policy without ever changing delivery results.
+func New(params Params, pts []geom.Point, opts ...Option) (*Channel, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,7 +139,13 @@ func New(params Params, pts []geom.Point) (*Channel, error) {
 	}
 	cp := make([]geom.Point, len(pts))
 	copy(cp, pts)
-	return &Channel{params: params, pts: cp}, nil
+	gains := newGainCache(cp, params.Alpha, resolveEngine(opts))
+	return &Channel{
+		params:  params,
+		pts:     cp,
+		gains:   gains,
+		scratch: newDeliverScratch(len(cp), gains != nil),
+	}, nil
 }
 
 // N returns the number of nodes on the channel.
@@ -135,6 +153,25 @@ func (c *Channel) N() int { return len(c.pts) }
 
 // Params returns the channel's physical-layer parameters.
 func (c *Channel) Params() Params { return c.params }
+
+// GainCacheBytes returns the footprint of the channel's precomputed gain
+// matrix, or 0 when the channel computes attenuations on the fly.
+func (c *Channel) GainCacheBytes() int64 {
+	if c.gains == nil {
+		return 0
+	}
+	return c.gains.bytes()
+}
+
+// signal returns the received signal strength of transmitter u at listener
+// v, from the cached gain row when available. Both branches evaluate the
+// identical expression Power·d(u,v)^{-α}, so results are bit-equal.
+func (c *Channel) signal(u, v int) float64 {
+	if c.gains != nil {
+		return c.params.Power * c.gains.at(u, v)
+	}
+	return c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+}
 
 // Deliver computes one round of reception. tx[u] reports whether node u
 // transmits this round; recv must have length N and is filled so that
@@ -147,7 +184,11 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
-	txList := txIndices(tx)
+	txList := c.scratch.indices(tx)
+	if c.gains != nil {
+		c.deliverCached(txList, tx, recv)
+		return
+	}
 	for v := range c.pts {
 		recv[v] = -1
 		if tx[v] || len(txList) == 0 {
@@ -168,6 +209,49 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 	}
 }
 
+// deliverCached is the transmitter-major engine: pass one streams each
+// transmitter's cached gain row through per-listener accumulators (running
+// interference total, strongest signal and its sender), pass two applies the
+// SINR threshold. Each listener still sees its signals in ascending
+// transmitter order with the first strict maximum winning — the exact
+// per-listener float operations of the on-the-fly loop — so both engines
+// produce bit-identical receptions. Diagonal gains are +Inf but only reach
+// accumulators of transmitting listeners, which pass one ignores and pass
+// two masks to −1.
+func (c *Channel) deliverCached(txList []int, tx []bool, recv []int) {
+	if len(txList) == 0 {
+		for v := range recv {
+			recv[v] = -1
+		}
+		return
+	}
+	totals, best, bestU := c.scratch.totals, c.scratch.best, c.scratch.bestU
+	for v := range totals {
+		totals[v], best[v], bestU[v] = 0, -1, -1
+	}
+	power := c.params.Power
+	for _, u := range txList {
+		row := c.gains.row(u)
+		for v, g := range row {
+			s := power * g
+			totals[v] += s
+			if s > best[v] {
+				best[v], bestU[v] = s, u
+			}
+		}
+	}
+	for v := range recv {
+		recv[v] = -1
+		if tx[v] {
+			continue
+		}
+		// Interference for the strongest candidate excludes its own signal.
+		if c.params.SINR(best[v], totals[v]-best[v]) >= c.params.Beta {
+			recv[v] = bestU[v]
+		}
+	}
+}
+
 // Receivable returns every transmitter whose SINR at listener v clears the
 // threshold (useful with Beta < 1, where more than one can). It returns nil
 // when v itself transmits.
@@ -175,13 +259,15 @@ func (c *Channel) Receivable(tx []bool, v int) []int {
 	if tx[v] {
 		return nil
 	}
-	txList := txIndices(tx)
-	signals := make([]float64, len(txList))
+	txList := c.scratch.indices(tx)
+	signals := c.scratch.signals[:0]
 	total := 0.0
-	for i, u := range txList {
-		signals[i] = c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
-		total += signals[i]
+	for _, u := range txList {
+		s := c.signal(u, v)
+		signals = append(signals, s)
+		total += s
 	}
+	c.scratch.signals = signals
 	var out []int
 	for i, u := range txList {
 		if c.params.SINR(signals[i], total-signals[i]) >= c.params.Beta {
@@ -200,17 +286,7 @@ func (c *Channel) InterferenceAt(tx []bool, v int) float64 {
 		if !tx[u] || u == v {
 			continue
 		}
-		total += c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+		total += c.signal(u, v)
 	}
 	return total
-}
-
-func txIndices(tx []bool) []int {
-	var out []int
-	for u, t := range tx {
-		if t {
-			out = append(out, u)
-		}
-	}
-	return out
 }

@@ -67,3 +67,23 @@ func Perm(rng *rand.Rand, n int) []int {
 	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
 	return p
 }
+
+// A Reseedable is a deterministic generator whose stream can be reset in
+// place: after Reseed(s) it yields exactly the stream New(s) yields. Hot
+// paths that previously built one generator per call (per round, per trial)
+// keep a single Reseedable instead, avoiding the per-call allocations.
+type Reseedable struct {
+	*rand.Rand
+	src *rand.PCG
+}
+
+// NewReseedable returns a Reseedable initially seeded with seed.
+func NewReseedable(seed uint64) *Reseedable {
+	src := rand.NewPCG(seed, mix(seed))
+	return &Reseedable{Rand: rand.New(src), src: src}
+}
+
+// Reseed resets the generator to the beginning of New(seed)'s stream.
+func (r *Reseedable) Reseed(seed uint64) {
+	r.src.Seed(seed, mix(seed))
+}
