@@ -1,14 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short vet bench results clean
+.PHONY: all build test test-short vet lint bench results clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Mirror of CI's lint job: the repo's own determinism/hot-path analyzers
+# (cmd/crlint) run through the go vet driver; staticcheck and govulncheck run
+# when installed and are skipped with a note otherwise, so `make lint` works
+# in offline sandboxes.
+lint:
+	go build -o bin/crlint ./cmd/crlint
+	go vet -vettool=$(CURDIR)/bin/crlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
 test:
 	go test ./...
@@ -17,7 +29,7 @@ test-short:
 	go test -short ./...
 
 bench:
-	go test -bench . -benchmem
+	go test -run '^$$' -bench . -benchmem ./...
 
 # Regenerate every reproduction experiment at full scale (minutes).
 results:
@@ -25,3 +37,4 @@ results:
 
 clean:
 	go clean ./...
+	rm -rf bin

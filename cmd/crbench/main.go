@@ -100,9 +100,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx, GainCache: *gaincache}
-	runStart := time.Now()
+	runStart := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 	for _, e := range selected {
-		start := time.Now()
+		start := time.Now() //crlint:allow nowallclock per-experiment elapsed-time line
 		tables, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
@@ -116,10 +116,11 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintln(w, tab.Text())
 			}
 		}
+		//crlint:allow nowallclock per-experiment elapsed-time line
 		fmt.Fprintf(w, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d, gain cache %s: %s)\n",
-		len(selected), time.Since(runStart).Round(time.Millisecond), effective,
+		len(selected), time.Since(runStart).Round(time.Millisecond), effective, //crlint:allow nowallclock CLI elapsed-time summary
 		*gaincache, sinr.ReadGainCacheStats())
 	return nil
 }

@@ -131,7 +131,7 @@ func run(args []string) error {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 	effective := *parallel
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
@@ -140,6 +140,7 @@ func run(args []string) error {
 		if err := runAdversary(eo, *k, *trials, *seed, makePlayer); err != nil {
 			return err
 		}
+		//crlint:allow nowallclock CLI elapsed-time summary
 		fmt.Printf("(%d games in %v, parallelism %d)\n", *trials, time.Since(start).Round(time.Millisecond), effective)
 		return nil
 	}
@@ -180,6 +181,7 @@ func run(args []string) error {
 	tab.AddRow("max", table.Float(s.Max, 0))
 	tab.AddRow("log2(k) reference", table.Float(math.Log2(float64(*k)), 1))
 	fmt.Print(tab.Text())
+	//crlint:allow nowallclock CLI elapsed-time summary
 	fmt.Printf("(%d games in %v, parallelism %d)\n", *trials, time.Since(start).Round(time.Millisecond), effective)
 	return nil
 }

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"fadingcr/internal/lint"
+)
+
+// Standalone mode: enumerate and type-check packages with the go command.
+// `go list -export` compiles every package into the build cache and hands
+// back the export-data files; crlint then parses the sources itself (go list
+// does not ship syntax) and type-checks them against that export data, which
+// is exactly the scheme `go vet` uses — minus the process-per-package fan
+// out.
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Deps       []string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct {
+		GoVersion string
+	}
+}
+
+// runStandalone lints the packages matching patterns (default ./...) in the
+// current directory's module.
+func runStandalone(patterns []string, tests bool, analyzers []*lint.Analyzer, asJSON bool) int {
+	diags, err := lintPatterns(".", patterns, tests, analyzers)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	return printDiagnostics(diags, asJSON)
+}
+
+// lintPatterns is the engine behind standalone mode, factored for tests: it
+// lints the packages matching patterns relative to dir and returns the
+// deduplicated, position-sorted diagnostics.
+func lintPatterns(dir string, patterns []string, tests bool, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-export", "-deps", "-json"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+
+	var pkgs []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parse go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+	}
+
+	var all []lint.Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		diags, err := lintUnit(p, exports, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return dedup(all), nil
+}
+
+// lintUnit parses and type-checks one listed package and runs the analyzers
+// over it.
+func lintUnit(p *listPackage, exports map[string]string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the package's own dependency view so test
+	// variants ("p [p.test]") shadow the plain package they recompile.
+	variant := map[string]string{}
+	for _, dep := range append(append([]string{}, p.Imports...), p.Deps...) {
+		if i := strings.IndexByte(dep, ' '); i >= 0 {
+			variant[dep[:i]] = dep
+		}
+	}
+	resolve := func(path string) (string, error) {
+		if v, ok := variant[path]; ok {
+			if file, ok := exports[v]; ok {
+				return file, nil
+			}
+		}
+		if file, ok := exports[path]; ok {
+			return file, nil
+		}
+		return "", fmt.Errorf("no export data for %q (imported by %s)", path, p.ImportPath)
+	}
+
+	goVersion := ""
+	if p.Module != nil {
+		goVersion = p.Module.GoVersion
+	}
+	pkg, err := lint.TypeCheck(fset, p.ImportPath, files, lint.ExportImporter(fset, resolve), goVersion)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkg, analyzers), nil
+}
+
+// dedup removes duplicate findings: with -test, a package's non-test files
+// are compiled both plainly and inside the test variant, and would
+// otherwise be reported twice. Input slices are already position-sorted per
+// unit; the merged result is re-sorted by lint.Run's ordering via simple
+// insertion here.
+func dedup(diags []lint.Diagnostic) []lint.Diagnostic {
+	seen := map[string]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}

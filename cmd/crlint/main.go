@@ -1,0 +1,131 @@
+// Command crlint runs the repository's determinism and hot-path analyzers
+// (internal/lint) over Go packages. It works in two modes:
+//
+// Standalone, over package patterns (the `make lint` developer loop):
+//
+//	crlint ./...
+//	crlint -tests=false fadingcr/internal/sinr
+//
+// As a `go vet` tool, speaking the vet unit-checker protocol (one process
+// per compilation unit, driven by a vet.cfg file; this is how CI runs it):
+//
+//	go vet -vettool=$(which crlint) ./...
+//
+// With no analyzer flags every analyzer runs; naming one or more analyzer
+// flags (-xrandonly, -maporder, ...) restricts the run to those.
+//
+// Exit status: 0 clean, 1 driver failure, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fadingcr/internal/lint"
+)
+
+func main() {
+	vFlag := flag.String("V", "", "print version information and exit (go vet passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the analyzer flag definitions as JSON and exit (go vet flag discovery)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	testsFlag := flag.Bool("tests", true, "also lint test compilation units (standalone mode)")
+	flag.Int("c", -1, "unused; accepted for go vet compatibility")
+
+	selected := map[string]*bool{}
+	for _, a := range lint.All() {
+		selected[a.Name] = flag.Bool(a.Name, false, a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		printVersion()
+	case *flagsFlag:
+		printFlagDefs()
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		os.Exit(runUnit(flag.Arg(0), chosenAnalyzers(selected), *jsonFlag))
+	default:
+		os.Exit(runStandalone(flag.Args(), *testsFlag, chosenAnalyzers(selected), *jsonFlag))
+	}
+}
+
+// chosenAnalyzers returns the analyzers named by flags, or all of them when
+// none were named.
+func chosenAnalyzers(selected map[string]*bool) []*lint.Analyzer {
+	var chosen []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *selected[a.Name] {
+			chosen = append(chosen, a)
+		}
+	}
+	if len(chosen) == 0 {
+		return lint.All()
+	}
+	return chosen
+}
+
+// printVersion emits the `name version ...` line go vet's tool-ID probe
+// expects; the content hash of the executable keys go's build cache so
+// stale vet results are invalidated when crlint changes.
+func printVersion() {
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+// printFlagDefs emits the JSON flag list go vet uses to validate the
+// analyzer flags a user passes on its command line.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{}
+	for _, a := range lint.All() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// printDiagnostics renders diagnostics for humans (go vet relays stderr) or
+// as JSON, returning the process exit code.
+func printDiagnostics(diags []lint.Diagnostic, asJSON bool) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "crlint:", err)
+			return 1
+		}
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	return 2
+}
+
+func fatalf(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "crlint: "+format+"\n", args...)
+	return 1
+}

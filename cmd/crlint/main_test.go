@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/lint"
+)
+
+// moduleRoot locates the repository root from the test's working directory
+// (cmd/crlint).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoClean is the acceptance gate: the repository, including its test
+// compilation units, must produce zero diagnostics under the full suite.
+func TestRepoClean(t *testing.T) {
+	diags, err := lintPatterns(moduleRoot(t), []string{"./..."}, true, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+// writeBadModule builds a scratch module violating every rule in the suite
+// and returns its directory.
+func writeBadModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.24\n",
+		// Path suffix internal/xrand exempts the stub from xrandonly, like
+		// the real seed-derivation layer.
+		"internal/xrand/xrand.go": `package xrand
+
+import "math/rand/v2"
+
+func New(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed)) }
+
+func Split(seed, i uint64) uint64 { return seed ^ (i+1)*0x9e3779b97f4a7c15 }
+`,
+		"bad.go": `package scratch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Timing() time.Time { return time.Now() }
+
+func Legacy() int { return rand.Int() }
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+//crlint:hotpath
+func Hot(n int) []int { return make([]int, n) }
+`,
+		"seeds.go": `package scratch
+
+import "scratch/internal/xrand"
+
+func Correlated(seed uint64) uint64 {
+	a := xrand.New(seed)
+	b := xrand.New(seed)
+	return a.Uint64() ^ b.Uint64()
+}
+
+func Replayed(seed uint64, n int) uint64 {
+	acc := uint64(0)
+	for i := 0; i < n; i++ {
+		acc += xrand.New(seed).Uint64()
+	}
+	return acc
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestBadModuleDiagnostics re-introduces one violation per rule in a scratch
+// module and checks every analyzer fires.
+func TestBadModuleDiagnostics(t *testing.T) {
+	diags, err := lintPatterns(writeBadModule(t), []string{"./..."}, true, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Rule] = true
+	}
+	for _, a := range lint.All() {
+		if !fired[a.Name] {
+			t.Errorf("rule %s did not fire on the bad module; got:\n%v", a.Name, diags)
+		}
+	}
+}
+
+// TestVetToolProtocol exercises the `go vet -vettool` unit-checker protocol
+// end to end: tool-ID probe, flag discovery, per-unit runs, facts files. The
+// repository must pass; the bad module must fail mentioning a rule.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets two modules")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "crlint")
+	build := exec.Command("go", "build", "-o", bin, "fadingcr/cmd/crlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build crlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=crlint failed on a clean repository: %v\n%s", err, out)
+	}
+
+	vetBad := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vetBad.Dir = writeBadModule(t)
+	out, err := vetBad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool=crlint passed the bad module:\n%s", out)
+	}
+	for _, rule := range []string{"xrandonly", "nowallclock", "maporder", "seedsplit", "hotalloc"} {
+		if !strings.Contains(string(out), "["+rule+"]") {
+			t.Errorf("vet output lacks a %s diagnostic:\n%s", rule, out)
+		}
+	}
+}

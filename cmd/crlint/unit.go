@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+
+	"fadingcr/internal/lint"
+)
+
+// Vet-tool mode: `go vet -vettool=crlint` invokes the binary once per
+// compilation unit with a JSON config file describing the unit — source
+// files, the import map, and the export-data file for every dependency
+// (already built by the go command). This mirrors the protocol of
+// golang.org/x/tools/go/analysis/unitchecker, which is not available in
+// this build environment; crlint has no cross-package facts, so the facts
+// (.vetx) outputs it writes are empty.
+
+// vetConfig is the vet.cfg schema written by cmd/go for each unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet compilation unit, returning the process exit
+// code (0 clean, 1 driver failure, 2 diagnostics).
+func runUnit(cfgPath string, analyzers []*lint.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fatalf("parse %s: %v", cfgPath, err)
+	}
+
+	// The go command caches the facts file keyed by tool ID; crlint exports
+	// none, so an empty file satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return fatalf("write facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	resolve := func(path string) (string, error) {
+		canonical := path
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			canonical = mapped
+		}
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			return file, nil
+		}
+		return "", fmt.Errorf("no export data for %q in unit %s", path, cfg.ImportPath)
+	}
+	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, files, lint.ExportImporter(fset, resolve), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fatalf("%v", err)
+	}
+	return printDiagnostics(lint.Run(pkg, analyzers), asJSON)
+}

@@ -2,7 +2,6 @@ package geom
 
 import (
 	"math"
-	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -316,7 +315,7 @@ func TestGreedySeparatedSubsetProperties(t *testing.T) {
 // subset keeps at least a packing-constant fraction.
 func TestSeparatedSubsetConstantFraction(t *testing.T) {
 	const n = 400
-	rng := rand.New(rand.NewPCG(5, 5))
+	rng := xrand.New(5)
 	// Place n points with pairwise distance ≥ 1 via rejection on a grid
 	// region; these model one link class with i = 0.
 	pts := make([]Point, 0, n)

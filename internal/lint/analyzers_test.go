@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"fadingcr/internal/lint"
+	"fadingcr/internal/lint/linttest"
+)
+
+func TestXRandOnly(t *testing.T) {
+	linttest.Run(t, lint.XRandOnly, "xrandonly")
+}
+
+// The seed-derivation layer itself is the one place allowed to construct raw
+// math/rand/v2 generators.
+func TestXRandOnlyExemptsXrandPackage(t *testing.T) {
+	linttest.Run(t, lint.XRandOnly, "exempt/internal/xrand")
+}
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, lint.NoWallClock, "nowallclock")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "maporder")
+}
+
+func TestSeedSplit(t *testing.T) {
+	linttest.Run(t, lint.SeedSplit, "seedsplit")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "hotalloc")
+}

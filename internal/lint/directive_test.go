@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/lint"
+)
+
+func typeCheckSource(t *testing.T, src string) (*lint.Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	imp := lint.ExportImporter(fset, func(path string) (string, error) {
+		return "", fmt.Errorf("fixture must not import anything, got %q", path)
+	})
+	pkg, err := lint.TypeCheck(fset, "fixture", []*ast.File{f}, imp, "")
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return pkg, fset
+}
+
+// Malformed //crlint: directives are diagnosed under the pseudo-rule
+// "directive" regardless of which analyzers run.
+func TestDirectiveValidation(t *testing.T) {
+	const src = `package fixture
+
+func f() int {
+	//crlint:allow
+	//crlint:allow nowallclock
+	//crlint:allow nosuchrule because reasons
+	//crlint:frobnicate
+	return 0
+}
+`
+	pkg, _ := typeCheckSource(t, src)
+	diags := lint.Run(pkg, lint.All())
+	wants := []struct {
+		line int
+		frag string
+	}{
+		{4, "needs a rule name and a reason"},
+		{5, "crlint:allow nowallclock needs a justification"},
+		{6, `unknown rule "nosuchrule"`},
+		{7, `unknown crlint directive "crlint:frobnicate"`},
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Rule != "directive" {
+			t.Errorf("diag %d: rule = %q, want \"directive\"", i, d.Rule)
+		}
+		if d.Pos.Line != w.line {
+			t.Errorf("diag %d: line = %d, want %d", i, d.Pos.Line, w.line)
+		}
+		if !strings.Contains(d.Message, w.frag) {
+			t.Errorf("diag %d: message %q does not contain %q", i, d.Message, w.frag)
+		}
+	}
+}
+
+// A well-formed allow directive on the line directly above the offending
+// statement suppresses exactly that rule; an identical loop without the
+// directive is still reported.
+func TestAllowDirectivePlacement(t *testing.T) {
+	const src = `package fixture
+
+func suppressed(m map[string]int) string {
+	//crlint:allow maporder unit test for directive placement
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func unsuppressed(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+`
+	pkg, _ := typeCheckSource(t, src)
+	diags := lint.Run(pkg, lint.All())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed loop:\n%v", len(diags), diags)
+	}
+	if diags[0].Rule != "maporder" || diags[0].Pos.Line != 12 {
+		t.Errorf("got %v, want maporder diagnostic on line 12", diags[0])
+	}
+}

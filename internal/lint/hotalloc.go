@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc guards the zero-allocation guarantee of the delivery hot path
+// (BENCH_sinr.json: 0 allocs/op in every engine). Functions annotated with
+// //crlint:hotpath in their doc comment — the Deliver family and its
+// scratch-buffer helpers — may not contain explicit allocation sites:
+//
+//   - make/new calls,
+//   - append into anything other than a scratch buffer resliced to [:0]
+//     (growth would allocate; the [:0] reuse idiom is the sanctioned way to
+//     fill a preallocated buffer),
+//   - closure literals (captures escape to the heap),
+//   - slice/map composite literals and &composite expressions,
+//   - conversions that produce a fresh slice ([]byte(s), ...).
+//
+// The check covers explicit allocation sites only; escape-analysis effects
+// (interface conversions in variadic calls, etc.) remain the benchmarks'
+// job via testing.AllocsPerRun regressions.
+var HotAlloc = &Analyzer{
+	Name:          "hotalloc",
+	Doc:           "forbid allocation sites in functions annotated //crlint:hotpath",
+	SkipTestFiles: true,
+	Run:           hotalloc,
+}
+
+func hotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !IsHotpath(fd) {
+				continue
+			}
+			checkHotpath(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpath(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	reuse := reuseBuffers(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "make"):
+				pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) calls make, which allocates every call; preallocate scratch buffers at construction time")
+			case isBuiltin(info, n.Fun, "new"):
+				pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) calls new, which allocates every call; preallocate at construction time")
+			case isBuiltin(info, n.Fun, "append") && len(n.Args) > 0:
+				if !appendsIntoReuse(info, n.Args[0], reuse) {
+					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) append may grow and allocate; append into a preallocated scratch buffer resliced to [:0]")
+				}
+			default:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					if t := info.TypeOf(n); t != nil {
+						if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+							pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) conversion allocates a fresh slice")
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) closure literal allocates (captured variables escape); hoist it out of the hot path")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) &composite literal allocates; reuse a preallocated value")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) slice/map literal allocates; reuse a preallocated buffer")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reuseBuffers collects the objects assigned from a [...][:0] reslice
+// anywhere in the function — the scratch-buffer reuse idiom appends into
+// these without growing past their preallocated capacity.
+func reuseBuffers(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	reuse := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isZeroReslice(rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				reuse[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				reuse[obj] = true
+			}
+		}
+		return true
+	})
+	return reuse
+}
+
+// appendsIntoReuse reports whether the append destination is a sanctioned
+// reuse buffer: a direct buf[:0] reslice, an identifier assigned from one,
+// or a chained append into such an identifier.
+func appendsIntoReuse(info *types.Info, dst ast.Expr, reuse map[types.Object]bool) bool {
+	if isZeroReslice(dst) {
+		return true
+	}
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return reuse[obj]
+}
+
+// isZeroReslice reports whether expr is x[:0] (or x[0:0]).
+func isZeroReslice(expr ast.Expr) bool {
+	se, ok := expr.(*ast.SliceExpr)
+	if !ok || se.Slice3 {
+		return false
+	}
+	if se.Low != nil && !isZeroLit(se.Low) {
+		return false
+	}
+	return se.High != nil && isZeroLit(se.High)
+}
+
+func isZeroLit(expr ast.Expr) bool {
+	lit, ok := expr.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

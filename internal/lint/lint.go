@@ -1,0 +1,391 @@
+// Package lint implements crlint, the repository's static-analysis suite.
+//
+// The reproduction's headline claims (Theorem 1 / Theorem 12 statistics,
+// baseline comparisons) rest on bit-identical reruns: identical seeds must
+// yield identical executions. DESIGN.md states the contracts — all randomness
+// flows through internal/xrand, no wall-clock reads in simulation logic,
+// deterministic iteration and summation order, zero allocations on the
+// delivery hot path — and this package enforces them mechanically on every
+// build instead of by convention.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, analysistest-style fixtures under
+// testdata/src/...) so the analyzers port to the upstream driver verbatim if
+// that dependency ever becomes available; it is implemented on the standard
+// library alone (go/ast, go/types, go/importer) because the build
+// environment is offline.
+//
+// # Directives
+//
+// Two comment directives tune the suite:
+//
+//	//crlint:allow <rule> <reason...>
+//	//crlint:hotpath
+//
+// An allow directive on the offending line, or on the line directly above
+// it, suppresses diagnostics of the named rule at that site; the reason is
+// mandatory so every exemption is justified in the source. A hotpath
+// directive in a function's doc comment opts the function into the hotalloc
+// analyzer's zero-allocation checks.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named, self-contained check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// SkipTestFiles excludes _test.go files from the analyzer. Checks that
+	// guard simulation logic (map order, seed reuse, hot-path allocations)
+	// skip tests; checks that guard reproducibility of every run (xrandonly)
+	// do not.
+	SkipTestFiles bool
+	// Run performs the check over one package, reporting findings through
+	// the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full analyzer registry in stable order. The driver,
+// `go vet -vettool` flag discovery, and directive validation all derive from
+// this list.
+func All() []*Analyzer {
+	return []*Analyzer{XRandOnly, NoWallClock, MapOrder, SeedSplit, HotAlloc}
+}
+
+// A Package is one type-checked compilation unit ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string // import path, possibly with a " [test-variant]" suffix
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Diagnostic is one finding, resolved to a concrete source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// A Pass carries one analyzer's view of one package, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	pkgPath  string
+	suppress *directiveIndex
+	diags    *[]Diagnostic
+}
+
+// PkgPath returns the canonical import path of the package under analysis:
+// the unit's path with any " [test-variant]" suffix (as produced by
+// `go vet` and `go list -test`) stripped.
+func (p *Pass) PkgPath() string {
+	if i := strings.IndexByte(p.pkgPath, ' '); i >= 0 {
+		return p.pkgPath[:i]
+	}
+	return p.pkgPath
+}
+
+// Reportf records a diagnostic at pos unless an allow directive for this
+// analyzer covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppress.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the package and returns the surviving
+// diagnostics in deterministic (position, rule) order. Malformed crlint
+// directives are reported under the pseudo-rule "directive" regardless of
+// which analyzers run: a typo in an escape hatch must never silently widen
+// it.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	idx := collectDirectives(pkg, &diags)
+	for _, a := range analyzers {
+		files := pkg.Files
+		if a.SkipTestFiles {
+			files = nonTestFiles(pkg.Fset, pkg.Files)
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			pkgPath:   pkg.Path,
+			suppress:  idx,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Pos:     token.Position{},
+				Rule:    a.Name,
+				Message: fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	out := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IsTestFile reports whether the file the position belongs to is a _test.go
+// file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// --- directives ---
+
+// HotpathDirective is the doc-comment directive marking a function for
+// hotalloc's zero-allocation checks.
+const HotpathDirective = "//crlint:hotpath"
+
+// IsHotpath reports whether the function declaration carries a
+// //crlint:hotpath directive in its doc comment.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == HotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// directiveIndex maps (file, line) to the set of rules allowed there.
+type directiveIndex struct {
+	allow map[fileLine]map[string]bool
+}
+
+// allows reports whether a well-formed allow directive for rule sits on the
+// diagnostic's line or on the line directly above it.
+func (idx *directiveIndex) allows(rule string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if idx.allow[fileLine{pos.Filename, line}][rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives indexes every //crlint: comment in the package and
+// appends a diagnostic for each malformed one. Only comments with the exact
+// `//crlint:` prefix (no space, per Go directive convention) are directives.
+func collectDirectives(pkg *Package, diags *[]Diagnostic) *directiveIndex {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	idx := &directiveIndex{allow: map[fileLine]map[string]bool{}}
+	report := func(pos token.Pos, format string, args ...any) {
+		*diags = append(*diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, "//crlint:") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, "//"))
+				switch fields[0] {
+				case "crlint:hotpath":
+					// Validity is positional (doc comment of a FuncDecl);
+					// hotalloc simply ignores misplaced ones.
+				case "crlint:allow":
+					if len(fields) < 2 {
+						report(c.Pos(), "crlint:allow needs a rule name and a reason, e.g. //crlint:allow nowallclock progress reporting")
+						continue
+					}
+					rule := fields[1]
+					if !known[rule] {
+						report(c.Pos(), "crlint:allow names unknown rule %q (known: %s)", rule, strings.Join(ruleNames(), ", "))
+						continue
+					}
+					if len(fields) < 3 {
+						report(c.Pos(), "crlint:allow %s needs a justification after the rule name", rule)
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fileLine{pos.Filename, pos.Line}
+					if idx.allow[key] == nil {
+						idx.allow[key] = map[string]bool{}
+					}
+					idx.allow[key][rule] = true
+				default:
+					report(c.Pos(), "unknown crlint directive %q (known: crlint:allow, crlint:hotpath)", fields[0])
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func ruleNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// --- shared type-resolution helpers ---
+
+// pkgFunc resolves id to the package-level function it uses, or nil if it is
+// anything else (a method, a type, a variable, ...).
+func pkgFunc(info *types.Info, id *ast.Ident) *types.Func {
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// method resolves id to the method it uses, or nil.
+func method(info *types.Info, id *ast.Ident) *types.Func {
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// recvTypeName returns the package path and type name of a method's
+// receiver, dereferencing one pointer.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	return pkgPath, obj.Name()
+}
+
+// isBuiltin reports whether id resolves to the named builtin.
+func isBuiltin(info *types.Info, expr ast.Expr, name string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x[i], x.f[i].g, *x, ...), or nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprObjs collects the objects of every identifier mentioned in expr.
+func exprObjs(info *types.Info, expr ast.Expr) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				objs[obj] = true
+			}
+			if obj := info.Defs[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}

@@ -1,0 +1,202 @@
+// Package linttest runs lint analyzers over fixture packages under
+// testdata/src, in the style of golang.org/x/tools/go/analysis/analysistest:
+// each fixture line that should trigger a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several per line allowed), and the harness fails the test on any
+// unexpected, missing, or mismatched diagnostic.
+//
+// Fixture packages may import the standard library and this module's own
+// packages (e.g. fadingcr/internal/xrand): dependencies are resolved through
+// `go list -export`, which compiles them into the build cache and hands back
+// gc export data — the same pipeline crlint's drivers use.
+package linttest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"fadingcr/internal/lint"
+)
+
+// Run analyzes the fixture package in testdata/src/<dir> (relative to the
+// calling test's working directory) with the given analyzer and compares
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	base := filepath.Join("testdata", "src", filepath.FromSlash(dir))
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", base)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(base, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+
+	resolve, err := exportResolver(imports)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := lint.TypeCheck(fset, dir, files, lint.ExportImporter(fset, resolve), "")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags := lint.Run(pkg, []*lint.Analyzer{a})
+	checkExpectations(t, fset, files, diags)
+}
+
+// want is one expectation: a diagnostic on a given file line whose message
+// matches the regexp.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkExpectations cross-matches diagnostics against // want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// exportCache memoizes import path → export-data file across fixtures; one
+// `go list` run per new import set keeps the suite fast.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// exportResolver returns a resolve function covering the given imports and,
+// transitively, everything their export data references.
+func exportResolver(imports map[string]bool) (func(string) (string, error), error) {
+	var missing []string
+	exportMu.Lock()
+	for path := range imports {
+		if _, ok := exportCache[path]; !ok && path != "unsafe" {
+			missing = append(missing, path)
+		}
+	}
+	exportMu.Unlock()
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json"}, missing...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return nil, fmt.Errorf("go list %v: %v\n%s", missing, err, ee.Stderr)
+			}
+			return nil, fmt.Errorf("go list %v: %v", missing, err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(out)))
+		exportMu.Lock()
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				exportMu.Unlock()
+				return nil, fmt.Errorf("parse go list output: %v", err)
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+		exportMu.Unlock()
+	}
+	return func(path string) (string, error) {
+		exportMu.Lock()
+		file, ok := exportCache[path]
+		exportMu.Unlock()
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	}, nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// ExportImporter returns a go/types importer that reads gc export data
+// (the files `go list -export` and `go vet`'s vet.cfg point at). resolve
+// maps an import path as written in source to the export file that
+// satisfies it — the indirection lets drivers apply vendor/test-variant
+// import maps. The standard library's gc importer handles the archive
+// framing and the "unsafe" pseudo-package itself.
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, error)) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// TypeCheck type-checks already-parsed files into an analysis-ready
+// Package. goVersion may be empty or a "go1.N[.M]" string.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: normalizeGoVersion(goVersion),
+	}
+	tpkg, err := conf.Check(canonicalPath(path), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Fset: fset, Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// canonicalPath strips the " [test-variant]" suffix go tooling appends to
+// test compilation units; go/types rejects paths containing spaces as
+// package paths in some contexts, and analyzers want the real path anyway.
+func canonicalPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// normalizeGoVersion accepts "1.24", "go1.24", or "go1.24.0" and returns a
+// form go/types accepts, or "" to mean the toolchain default.
+func normalizeGoVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces deterministic iteration order: Go randomizes map
+// iteration, so a `for range` over a map whose body feeds anything
+// order-sensitive — output streams, slices built up across iterations,
+// floating-point accumulation (non-associative), random-number streams, or
+// an early return of a loop-dependent value — produces run-to-run
+// differences even under a fixed seed. Such loops must iterate over sorted
+// keys instead.
+//
+// The check is local to the loop body (it does not chase the call graph);
+// the recognized sinks are exactly the ways nondeterminism has bitten or
+// can bite the result paths of this repository. Two idioms stay legal
+// without a directive: order-insensitive bodies (integer counting, writing
+// into another map, membership tests), and the collect-then-sort idiom where
+// the body only appends keys to a slice that is later passed to a
+// sort/slices sorting call in the same function.
+var MapOrder = &Analyzer{
+	Name:          "maporder",
+	Doc:           "flag map iteration whose body reaches output, aggregation, or rng consumption without sorting keys first",
+	SkipTestFiles: true,
+	Run:           maporder,
+}
+
+func maporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				if sink := mapRangeSink(pass, fd, rs); sink != "" {
+					pass.Reportf(rs.Pos(), "map iteration order is randomized and this loop %s; iterate over sorted keys (or //crlint:allow maporder <reason>)", sink)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// mapRangeSink returns a description of the first order-sensitive operation
+// in the loop body, or "" if the body is order-insensitive.
+func mapRangeSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
+	info := pass.TypesInfo
+	loopObjs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				loopObjs[obj] = true
+			}
+		}
+	}
+	isLocal := func(obj types.Object) bool {
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	}
+
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n.Fun, "append") && len(n.Args) > 0 {
+				root := rootIdent(n.Args[0])
+				if root == nil {
+					return true
+				}
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if isLocal(obj) {
+					return true
+				}
+				if sortedLater(pass, fd, rs, obj) {
+					return true
+				}
+				sink = fmt.Sprintf("appends to %s in visit order", root.Name)
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn := pkgFunc(info, sel.Sel); fn != nil {
+					switch {
+					case fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+						sink = fmt.Sprintf("writes output via fmt.%s", fn.Name())
+						return false
+					case fn.Pkg().Name() == "xrand":
+						sink = fmt.Sprintf("consumes a random stream via xrand.%s", fn.Name())
+						return false
+					}
+				}
+				if m := method(info, sel.Sel); m != nil {
+					if rngMethod(m) {
+						sink = fmt.Sprintf("consumes a random stream via %s", m.Name())
+						return false
+					}
+					if writerMethod(m.Name()) {
+						sink = fmt.Sprintf("writes output via %s", m.Name())
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if floatAccumulation(info, n) {
+				for _, lhs := range n.Lhs {
+					if root := rootIdent(lhs); root != nil {
+						obj := info.Uses[root]
+						if obj == nil {
+							obj = info.Defs[root]
+						}
+						if !isLocal(obj) {
+							sink = "accumulates floating-point values (addition is not associative, so the sum depends on visit order)"
+							return false
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for obj := range exprObjs(info, res) {
+					if loopObjs[obj] || isLocal(obj) {
+						sink = "returns a value that depends on which key is visited first"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// rngMethod reports whether m is a method of math/rand/v2.Rand or of
+// internal/xrand's Reseedable — i.e. a call that consumes a random stream.
+func rngMethod(m *types.Func) bool {
+	pkgPath, typeName := recvTypeName(m)
+	if pkgPath == "math/rand/v2" && typeName == "Rand" {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, xrandPkgSuffix) && typeName == "Reseedable"
+}
+
+// writerMethod reports whether the method name is a conventional stream
+// output call (io.Writer, strings.Builder, bytes.Buffer, tabwriter, ...).
+func writerMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Printf", "Print", "Println":
+		return true
+	}
+	return false
+}
+
+// floatAccumulation reports whether the assignment compounds (+= -= *= /=)
+// into a floating-point location.
+func floatAccumulation(info *types.Info, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		t := info.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLater reports whether obj (a slice the loop appends to) is passed to
+// a sort.*/slices.Sort* call positioned after the loop in the same function
+// — the sanctioned collect-then-sort idiom.
+func sortedLater(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFunc(info, sel.Sel)
+		if fn == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if pkg == "slices" && !strings.HasPrefix(fn.Name(), "Sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && info.Uses[root] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

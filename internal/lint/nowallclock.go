@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the wall clock (or the process' monotonic clock). time.Date, time.Unix,
+// Duration arithmetic, and friends are pure and stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock enforces the no-wall-clock contract: simulation logic
+// (internal/sim, internal/sinr, internal/core, internal/hitting,
+// internal/experiments, internal/baselines, ...) must be a pure function of
+// its seed, so reruns are bit-identical. Reading the clock anywhere in
+// non-test code is flagged; the legitimate timing sites — progress and
+// elapsed-time reporting in cmd/ and internal/runner — carry explicit
+// //crlint:allow nowallclock directives so every exemption is visible and
+// justified at the call site.
+var NoWallClock = &Analyzer{
+	Name:          "nowallclock",
+	Doc:           "forbid time.Now/Since/Sleep and other wall-clock reads outside explicitly allowed timing sites",
+	SkipTestFiles: true,
+	Run:           nowallclock,
+}
+
+func nowallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.TypesInfo, id)
+			if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock, which breaks bit-identical reruns; simulation logic must be seed-deterministic (timing code may carry //crlint:allow nowallclock <reason>)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

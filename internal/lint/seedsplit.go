@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedSplit enforces the runner's seed-derivation contract (DESIGN.md §8):
+// every generator gets its own seed, derived with xrand.Split. Two bug
+// shapes are flagged, both of which silently correlate supposedly
+// independent streams:
+//
+//  1. The same seed expression passed to more than one generator
+//     construction (xrand.New, xrand.NewReseedable, Reseedable.Reseed) in
+//     one function — the streams are identical, not independent.
+//  2. A generator constructed inside a loop from a seed expression that
+//     references nothing the loop varies — every iteration replays the
+//     same stream. This is the exact bug class runner.TrialSeeds exists to
+//     prevent.
+//
+// Matching is syntactic on the normalized seed expression, so a seed
+// expression containing a call to anything other than xrand.Split/SplitN or
+// a type conversion is conservatively treated as varying.
+var SeedSplit = &Analyzer{
+	Name:          "seedsplit",
+	Doc:           "flag reuse of one seed expression across generator constructions, and loop-invariant seeds inside loops",
+	SkipTestFiles: true,
+	Run:           seedsplit,
+}
+
+// seedCall is one generator-constructing call and its seed argument.
+type seedCall struct {
+	call  *ast.CallExpr
+	label string   // e.g. "xrand.New"
+	seed  ast.Expr // first argument
+	loops []ast.Stmt
+}
+
+func seedsplit(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSeeds(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkSeeds(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	calls := collectSeedCalls(info, fd)
+
+	// Shape 1: identical normalized seed expressions across distinct calls.
+	seen := map[string]*seedCall{}
+	for _, c := range calls {
+		key := types.ExprString(c.seed)
+		if first, ok := seen[key]; ok {
+			pass.Reportf(c.call.Pos(),
+				"seed expression %s is reused from the %s call on line %d; identical seeds yield identical streams — derive an independent child seed with xrand.Split",
+				key, first.label, pass.Fset.Position(first.call.Pos()).Line)
+			continue
+		}
+		seen[key] = c
+	}
+
+	// Shape 2: a seed expression invariant under an enclosing loop.
+	varyCache := map[ast.Stmt]map[types.Object]bool{}
+	for _, c := range calls {
+		if len(c.loops) == 0 || impureSeed(info, c.seed) {
+			continue
+		}
+		objs := exprObjs(info, c.seed)
+		for _, loop := range c.loops {
+			varying := varyCache[loop]
+			if varying == nil {
+				varying = varyingObjs(info, loop)
+				varyCache[loop] = varying
+			}
+			invariant := true
+			for obj := range objs {
+				if varying[obj] {
+					invariant = false
+					break
+				}
+			}
+			if invariant {
+				pass.Reportf(c.call.Pos(),
+					"seed %s does not vary across iterations of the enclosing loop (line %d): every iteration constructs an identical stream; derive per-iteration seeds with xrand.Split",
+					types.ExprString(c.seed), pass.Fset.Position(loop.Pos()).Line)
+				break
+			}
+		}
+	}
+}
+
+// collectSeedCalls walks the function body recording generator
+// constructions along with their enclosing loop statements, in source order.
+// The walk keeps an explicit node stack (ast.Inspect reports subtree exit
+// with a nil node) so each call knows the loops that enclose it.
+func collectSeedCalls(info *types.Info, fd *ast.FuncDecl) []*seedCall {
+	var calls []*seedCall
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if label := seedCallLabel(info, call); label != "" && len(call.Args) > 0 {
+				// Innermost loop first, so the tightest replay is reported.
+				var enclosing []ast.Stmt
+				for i := len(stack) - 1; i >= 0; i-- {
+					switch loop := stack[i].(type) {
+					case *ast.ForStmt:
+						enclosing = append(enclosing, loop)
+					case *ast.RangeStmt:
+						enclosing = append(enclosing, loop)
+					}
+				}
+				calls = append(calls, &seedCall{call: call, label: label, seed: call.Args[0], loops: enclosing})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return calls
+}
+
+// seedCallLabel classifies a call as a generator construction: xrand.New,
+// xrand.NewReseedable, or (*xrand.Reseedable).Reseed. Matching is by package
+// name "xrand" so fixtures and scratch modules can supply their own stub.
+func seedCallLabel(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if fn := pkgFunc(info, sel.Sel); fn != nil && fn.Pkg().Name() == "xrand" {
+		if fn.Name() == "New" || fn.Name() == "NewReseedable" {
+			return "xrand." + fn.Name()
+		}
+		return ""
+	}
+	if m := method(info, sel.Sel); m != nil && m.Name() == "Reseed" {
+		if pkgPath, typeName := recvTypeName(m); typeName == "Reseedable" && pkgPath != "" {
+			return "Reseedable.Reseed"
+		}
+	}
+	return ""
+}
+
+// impureSeed reports whether the seed expression contains a call other than
+// a type conversion or the pure xrand.Split/SplitN derivations — such a seed
+// may legitimately vary per evaluation, so invariance cannot be decided
+// syntactically.
+func impureSeed(info *types.Info, seed ast.Expr) bool {
+	impure := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion: inspect its operand
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn := pkgFunc(info, sel.Sel); fn != nil && fn.Pkg().Name() == "xrand" &&
+				(fn.Name() == "Split" || fn.Name() == "SplitN") {
+				return true // pure derivation: inspect its arguments
+			}
+		}
+		impure = true
+		return false
+	})
+	return impure
+}
+
+// varyingObjs collects every object the loop plausibly changes between
+// iterations: range key/value variables, for-clause variables, and anything
+// assigned, incremented, or declared inside the loop (including the root of
+// an assigned selector or index expression).
+func varyingObjs(info *types.Info, loop ast.Stmt) map[types.Object]bool {
+	varying := map[types.Object]bool{}
+	note := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		if obj := info.Defs[root]; obj != nil {
+			varying[obj] = true
+		}
+		if obj := info.Uses[root]; obj != nil {
+			varying[obj] = true
+		}
+	}
+	if rs, ok := loop.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			note(rs.Key)
+		}
+		if rs.Value != nil {
+			note(rs.Value)
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(n.X)
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				note(name)
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				note(n.Key)
+			}
+			if n.Value != nil {
+				note(n.Value)
+			}
+		}
+		return true
+	})
+	return varying
+}

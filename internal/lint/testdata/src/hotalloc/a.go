@@ -1,0 +1,64 @@
+package hotalloc
+
+type scratch struct {
+	buf []int
+}
+
+//crlint:hotpath
+func badMake(n int) []int {
+	return make([]int, n) // want `calls make`
+}
+
+//crlint:hotpath
+func badAppend(dst, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x) // want `append may grow and allocate`
+	}
+	return dst
+}
+
+// The sanctioned reuse idiom: append into a preallocated buffer resliced to
+// [:0] never grows past its capacity.
+//
+//crlint:hotpath
+func goodReuse(s *scratch, xs []int) []int {
+	out := s.buf[:0]
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	s.buf = out
+	return out
+}
+
+//crlint:hotpath
+func badClosure(xs []int) int {
+	total := 0
+	add := func(x int) { total += x } // want `closure literal allocates`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//crlint:hotpath
+func badLiterals() []int {
+	return []int{1, 2, 3} // want `slice/map literal allocates`
+}
+
+//crlint:hotpath
+func badPointerLit() *scratch {
+	return &scratch{} // want `&composite literal allocates`
+}
+
+//crlint:hotpath
+func badConversion(s string) []byte {
+	return []byte(s) // want `conversion allocates a fresh slice`
+}
+
+// Not annotated: cold-path code allocates freely.
+func coldPath(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, n)
+}

@@ -1,0 +1,21 @@
+package nowallclock
+
+import "time"
+
+func reads() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func times(t0 time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(t0)        // want `time.Since reads the wall clock`
+}
+
+// Pure time construction and arithmetic stay legal.
+func pure() time.Time {
+	return time.Date(2016, time.July, 25, 0, 0, 0, 0, time.UTC).Add(3 * time.Second)
+}
+
+func escapeHatch() time.Time {
+	return time.Now() //crlint:allow nowallclock fixture timing site
+}

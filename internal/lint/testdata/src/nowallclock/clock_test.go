@@ -1,0 +1,9 @@
+package nowallclock
+
+import "time"
+
+// Test files may time things freely: nowallclock skips them, so the call
+// below carries no want comment.
+func timerForTests() time.Time {
+	return time.Now()
+}

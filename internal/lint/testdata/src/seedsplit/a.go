@@ -1,0 +1,53 @@
+package seedsplit
+
+import "fadingcr/internal/xrand"
+
+func reusesSeed(seed uint64) {
+	a := xrand.New(seed)
+	b := xrand.New(seed) // want `seed expression seed is reused from the xrand.New call`
+	_, _ = a, b
+}
+
+// Deriving distinct child seeds with Split is the sanctioned pattern.
+func distinctSeeds(seed uint64) {
+	a := xrand.New(xrand.Split(seed, 0))
+	b := xrand.New(xrand.Split(seed, 1))
+	_, _ = a, b
+}
+
+func reusesDerivedSeed(seed uint64) {
+	a := xrand.New(xrand.Split(seed, 1))
+	b := xrand.New(xrand.Split(seed, 1)) // want `is reused from the xrand.New call`
+	_, _ = a, b
+}
+
+func reseedToSameStream(seed uint64) *xrand.Reseedable {
+	r := xrand.NewReseedable(seed)
+	r.Reseed(seed) // want `seed expression seed is reused from the xrand.NewReseedable call`
+	return r
+}
+
+func invariantInLoop(seed uint64, n int) uint64 {
+	acc := uint64(0)
+	for i := 0; i < n; i++ {
+		rng := xrand.New(seed) // want `seed seed does not vary across iterations`
+		acc += rng.Uint64()
+	}
+	return acc
+}
+
+// Per-iteration child seeds vary with the loop variable: fine.
+func variesInLoop(seed uint64, n int) uint64 {
+	acc := uint64(0)
+	for i := 0; i < n; i++ {
+		rng := xrand.New(xrand.Split(seed, uint64(i)))
+		acc += rng.Uint64()
+	}
+	return acc
+}
+
+func escapeHatch(seed uint64) bool {
+	a := xrand.New(seed)
+	b := xrand.New(seed) //crlint:allow seedsplit fixture intentionally compares identical streams
+	return a.Uint64() == b.Uint64()
+}

@@ -1,0 +1,34 @@
+package xrandonly
+
+import (
+	oldrand "math/rand" // want `math/rand \(v1\) is banned`
+	"math/rand/v2"
+
+	"fadingcr/internal/xrand"
+)
+
+// v1 use so the import compiles; the import line above carries the finding.
+var legacy = oldrand.Int
+
+func direct() int {
+	rng := rand.New(rand.NewPCG(1, 2)) // want `math/rand/v2.New bypasses` `math/rand/v2.NewPCG bypasses`
+	return rng.IntN(10)
+}
+
+func global() int {
+	return rand.IntN(10) // want `math/rand/v2.IntN bypasses`
+}
+
+// Methods on an already-constructed generator are fine: it was necessarily
+// built, and therefore seeded, by internal/xrand.
+func methods(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func viaXrand() int {
+	return xrand.New(7).IntN(10)
+}
+
+func escapeHatch() *rand.Rand {
+	return rand.New(rand.NewPCG(3, 4)) //crlint:allow xrandonly fixture exercising the escape hatch
+}

@@ -1,0 +1,10 @@
+package xrandonly
+
+import "math/rand/v2"
+
+// Unlike the rest of the suite, xrandonly covers _test.go files too: a
+// wall-clock-seeded test is nondeterministic in exactly the way the seed
+// contract forbids.
+func shuffleForTests(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand/v2.Shuffle bypasses`
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// xrandPkgSuffix identifies the one package allowed to construct raw
+// math/rand/v2 generators: the seed-derivation layer itself.
+const xrandPkgSuffix = "internal/xrand"
+
+// XRandOnly enforces the seed-derivation contract (DESIGN.md §8): every
+// random stream in the repository is built by internal/xrand from an
+// explicit seed. math/rand v1 is forbidden outright (its global generator is
+// seeded from the wall clock), and outside internal/xrand no code may call
+// math/rand/v2 package-level functions — neither the constructors (New,
+// NewPCG, NewChaCha8, ...) nor the convenience functions (IntN, Float64,
+// ...) that consume the runtime-seeded global stream. Methods on an existing
+// *rand.Rand are fine: the generator was necessarily built, and therefore
+// seeded, by internal/xrand.
+//
+// Unlike most of the suite this analyzer also covers _test.go files:
+// a wall-clock-seeded test is exactly the kind of "works on my machine"
+// nondeterminism the contract exists to kill.
+var XRandOnly = &Analyzer{
+	Name: "xrandonly",
+	Doc:  "forbid math/rand v1 and direct math/rand/v2 construction or global-stream use outside internal/xrand",
+	Run:  xrandonly,
+}
+
+func xrandonly(pass *Pass) error {
+	exempt := strings.HasSuffix(pass.PkgPath(), xrandPkgSuffix)
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" {
+				pass.Reportf(spec.Pos(), "math/rand (v1) is banned: its global stream is wall-clock seeded; derive generators with internal/xrand")
+			}
+		}
+		if exempt {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.TypesInfo, id)
+			if fn == nil || fn.Pkg().Path() != "math/rand/v2" {
+				return true
+			}
+			pass.Reportf(id.Pos(), "math/rand/v2.%s bypasses the seed-derivation contract; construct and split streams via internal/xrand", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -132,7 +132,7 @@ func (e *PanicError) Error() string {
 // the other trials; use Result.FirstErr to fail like a sequential loop.
 // The Result is non-nil even on error and carries the partial results.
 func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, trial int) (T, error), opts Options[T]) (*Result[T], error) {
-	start := time.Now()
+	start := time.Now() //crlint:allow nowallclock Result.Elapsed reports real wall time, not simulated time
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -152,7 +152,7 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 		Parallelism: par,
 	}
 	if trials == 0 {
-		res.Elapsed = time.Since(start)
+		res.Elapsed = time.Since(start) //crlint:allow nowallclock elapsed-time reporting
 		return res, ctx.Err()
 	}
 	if opts.Timeout > 0 {
@@ -207,11 +207,11 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 				Total:   trials,
 				Solved:  res.Solved,
 				Errors:  errCount,
-				Elapsed: time.Since(start),
+				Elapsed: time.Since(start), //crlint:allow nowallclock progress-callback elapsed time
 			})
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //crlint:allow nowallclock elapsed-time reporting
 	if res.Done < trials {
 		// Only cancellation or timeout can leave trials unexecuted.
 		return res, ctx.Err()

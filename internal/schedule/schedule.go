@@ -61,13 +61,21 @@ func Feasible(params sinr.Params, pts []geom.Point, links []Link) (bool, error) 
 		}
 		sending[l.Sender] = true
 	}
+	// Sum interference in ascending sender order: float addition is not
+	// associative, so iterating the map directly would make marginal links
+	// flip between runs (caught by crlint's maporder analyzer).
+	senders := make([]int, 0, len(sending))
+	for s := range sending {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
 	for _, l := range links {
 		if sending[l.Receiver] {
 			return false, nil // a receiver cannot also transmit
 		}
 		signal := params.Signal(pts[l.Sender].Dist(pts[l.Receiver]))
 		interference := 0.0
-		for s := range sending {
+		for _, s := range senders {
 			if s == l.Sender {
 				continue
 			}

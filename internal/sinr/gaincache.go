@@ -163,6 +163,8 @@ func newDeliverScratch(n int, cached bool) deliverScratch {
 }
 
 // indices collects the transmitting node indices into the reusable list.
+//
+//crlint:hotpath
 func (s *deliverScratch) indices(tx []bool) []int {
 	out := s.txList[:0]
 	for u, t := range tx {

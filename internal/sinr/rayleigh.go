@@ -71,6 +71,8 @@ func (c *RayleighChannel) GainCacheBytes() int64 {
 // signal returns the unfaded signal strength of transmitter u at listener v,
 // from the cached gain row when available; both branches compute bit-equal
 // values (see Channel.signal).
+//
+//crlint:hotpath
 func (c *RayleighChannel) signal(u, v int) float64 {
 	if c.gains != nil {
 		return c.params.Power * c.gains.at(u, v)
@@ -80,6 +82,8 @@ func (c *RayleighChannel) signal(u, v int) float64 {
 
 // Deliver computes one round of reception under fresh per-pair fades. The
 // contract matches Channel.Deliver.
+//
+//crlint:hotpath
 func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
@@ -112,6 +116,8 @@ func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 }
 
 // expFade draws a unit-mean exponential fade.
+//
+//crlint:hotpath
 func expFade(rng *rand.Rand) float64 {
 	// Inverse-CDF sampling; 1−U avoids log(0).
 	return -math.Log(1 - rng.Float64())

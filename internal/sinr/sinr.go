@@ -70,6 +70,8 @@ func (p Params) signalFromDist2(d2 float64) float64 {
 // path-loss exponents (α ∈ {2, 3, 4, 6}); the SINR delivery loop spends
 // essentially all its time here, and the fast paths are ~5× cheaper than
 // math.Pow.
+//
+//crlint:hotpath
 func attenuation(d2, alpha float64) float64 {
 	switch alpha {
 	case 2:
@@ -166,6 +168,8 @@ func (c *Channel) GainCacheBytes() int64 {
 // signal returns the received signal strength of transmitter u at listener
 // v, from the cached gain row when available. Both branches evaluate the
 // identical expression Power·d(u,v)^{-α}, so results are bit-equal.
+//
+//crlint:hotpath
 func (c *Channel) signal(u, v int) float64 {
 	if c.gains != nil {
 		return c.params.Power * c.gains.at(u, v)
@@ -180,6 +184,8 @@ func (c *Channel) signal(u, v int) float64 {
 // listen while transmitting). When Beta < 1 several transmitters may clear
 // the SINR threshold at one listener; the channel then delivers the
 // strongest.
+//
+//crlint:hotpath
 func (c *Channel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
@@ -218,6 +224,8 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 // produce bit-identical receptions. Diagonal gains are +Inf but only reach
 // accumulators of transmitting listeners, which pass one ignores and pass
 // two masks to −1.
+//
+//crlint:hotpath
 func (c *Channel) deliverCached(txList []int, tx []bool, recv []int) {
 	if len(txList) == 0 {
 		for v := range recv {

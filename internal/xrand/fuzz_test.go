@@ -1,0 +1,47 @@
+package xrand
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzSplit fuzzes the two load-bearing properties of the seed-derivation
+// layer: Split yields distinct, well-mixed child seeds for distinct indices
+// (identical ones for identical indices), and a Reseedable reset to a seed
+// replays exactly the stream a fresh New generator yields for that seed —
+// the equivalence the hot paths rely on when they reuse one generator
+// instead of allocating per call.
+func FuzzSplit(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1))
+	f.Add(uint64(7), uint64(0), uint64(1))
+	f.Add(uint64(0xdeadbeef), uint64(41), uint64(42))
+	f.Add(^uint64(0), uint64(1)<<63, uint64(1)<<63-1)
+	f.Add(uint64(0x9e3779b97f4a7c15), uint64(3), uint64(3))
+	f.Fuzz(func(t *testing.T, seed, i, j uint64) {
+		ci, cj := Split(seed, i), Split(seed, j)
+		if i == j {
+			if ci != cj {
+				t.Fatalf("Split(%#x, %d) not pure: %#x vs %#x", seed, i, ci, cj)
+			}
+			return
+		}
+		if ci == cj {
+			t.Fatalf("Split(%#x, ·) collides for indices %d and %d", seed, i, j)
+		}
+		// SplitMix64's full-avalanche mixing should leave sibling seeds far
+		// apart in Hamming distance, never near-misses.
+		if d := bits.OnesCount64(ci ^ cj); d < 4 {
+			t.Fatalf("child seeds %#x and %#x differ in only %d bits", ci, cj, d)
+		}
+
+		fresh := New(ci)
+		r := NewReseedable(cj)
+		r.Uint64() // advance, so Reseed must really rewind the state
+		r.Reseed(ci)
+		for k := 0; k < 8; k++ {
+			if got, want := r.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("Reseed(%#x) stream diverges from New(%#x) at draw %d: %#x != %#x", ci, ci, k, got, want)
+			}
+		}
+	})
+}
