@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short vet lint bench results clean
+.PHONY: all build test test-short vet lint bench results obs-smoke clean
 
 all: build vet lint test
 
@@ -34,6 +34,15 @@ bench:
 # Regenerate every reproduction experiment at full scale (minutes).
 results:
 	go run ./cmd/crbench -seed 7 -o results_full.txt
+
+# Mirror of CI's obs-smoke job: exercise the -metrics/-cpuprofile/-memprofile
+# flags end to end and validate the NDJSON report (jq when installed).
+obs-smoke:
+	go run ./cmd/crsim -n 64 -trials 3 -seed 7 \
+		-metrics bin/metrics.ndjson -cpuprofile bin/cpu.pprof -memprofile bin/mem.pprof
+	@if command -v jq >/dev/null 2>&1; then jq -ce . bin/metrics.ndjson > /dev/null && echo "NDJSON report valid"; \
+	else echo "jq not installed, skipping NDJSON validation"; fi
+	@test -s bin/cpu.pprof && test -s bin/mem.pprof && echo "profiles written"
 
 clean:
 	go clean ./...

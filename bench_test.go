@@ -19,6 +19,7 @@ import (
 	"fadingcr/internal/core"
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/geom"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/runner"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
@@ -213,6 +214,46 @@ func BenchmarkSINRDeliver(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSINRDeliverMetrics measures the observability overhead on the
+// delivery hot path: the identical cached Deliver call with metrics
+// recording enabled (the process default; BenchmarkSINRDeliver above runs
+// this way) versus disabled via obs.SetEnabled(false). The delta is the
+// cost of the per-call atomic counter increments — BENCH_obs.json records
+// both sides, and the acceptance bar is overhead within run-to-run noise.
+func BenchmarkSINRDeliverMetrics(b *testing.B) {
+	const n = 512
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"on", true}, {"off", false}} {
+		b.Run("metrics="+mode.name, func(b *testing.B) {
+			d, err := geom.UniformDisk(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := sinr.Params{Alpha: 3, Beta: 1.5, Noise: 1}
+			params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
+			ch, err := sinr.New(params, d.Points, fadingcr.WithGainCacheCap(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := make([]bool, n)
+			for i := 0; i < n; i += 5 {
+				tx[i] = true
+			}
+			recv := make([]int, n)
+			ch.Deliver(tx, recv) // warm the scratch buffers
+			obs.SetEnabled(mode.enabled)
+			defer obs.SetEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.Deliver(tx, recv)
+			}
+		})
 	}
 }
 

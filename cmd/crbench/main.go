@@ -23,18 +23,27 @@ import (
 	"strings"
 	"time"
 
+	"fadingcr/internal/cli"
 	"fadingcr/internal/experiments"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/sinr"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "crbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(mainExitCode(os.Args[1:]))
 }
 
-func run(args []string, stdout io.Writer) error {
+// mainExitCode runs the command and maps its error to the process exit
+// status (help is a success; see internal/cli), keeping main testable.
+func mainExitCode(args []string) int {
+	err := run(args, os.Stdout)
+	if err != nil && !cli.IsHelp(err) {
+		fmt.Fprintln(os.Stderr, "crbench:", err)
+	}
+	return cli.ExitCode(err)
+}
+
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list the registered experiments and exit")
@@ -48,12 +57,22 @@ func run(args []string, stdout io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		gaincache = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := sinr.GainCacheOptions(*gaincache); err != nil {
 		return err
 	}
+	finish, err := obsFlags.Start("crbench")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	if *format != "text" && *format != "markdown" {
 		return fmt.Errorf("unknown format %q", *format)
 	}

@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"fadingcr/internal/baselines"
+	"fadingcr/internal/cli"
 	"fadingcr/internal/core"
 	"fadingcr/internal/hitting"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/runner"
 	"fadingcr/internal/stats"
 	"fadingcr/internal/table"
@@ -52,10 +54,17 @@ func runGames(eo engineOpts, trials int, fn func(trial int) (float64, error)) ([
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	os.Exit(mainExitCode(os.Args[1:]))
+}
+
+// mainExitCode runs the command and maps its error to the process exit
+// status (help is a success; see internal/cli), keeping main testable.
+func mainExitCode(args []string) int {
+	err := run(args)
+	if err != nil && !cli.IsHelp(err) {
 		fmt.Fprintln(os.Stderr, "crhitting:", err)
-		os.Exit(1)
 	}
+	return cli.ExitCode(err)
 }
 
 // runAdversary evaluates the player against the optimal (worst-case) target
@@ -92,7 +101,7 @@ func runAdversary(eo engineOpts, k, trials int, seed uint64, makePlayer func(see
 	return nil
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("crhitting", flag.ContinueOnError)
 	var (
 		k         = fs.Int("k", 256, "universe size of the hitting game (k ≥ 2)")
@@ -104,9 +113,19 @@ func run(args []string) error {
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obsFlags.Start("crhitting")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -38,3 +38,24 @@ func TestRunAdversaryMode(t *testing.T) {
 		}
 	}
 }
+
+func TestMainExitCodes(t *testing.T) {
+	// -h used to funnel into the generic failure path and exit 1; asking
+	// for usage must exit 0.
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help short", []string{"-h"}, 0},
+		{"help long", []string{"-help"}, 0},
+		{"success", []string{"-k", "16", "-trials", "5"}, 0},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 1},
+		{"bad player", []string{"-player", "nope", "-trials", "2"}, 1},
+	}
+	for _, tc := range cases {
+		if got := mainExitCode(tc.args); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

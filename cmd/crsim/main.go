@@ -17,8 +17,10 @@ import (
 	"os"
 
 	"fadingcr/internal/baselines"
+	"fadingcr/internal/cli"
 	"fadingcr/internal/core"
 	"fadingcr/internal/geom"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/radio"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
@@ -29,13 +31,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "crsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(mainExitCode(os.Args[1:]))
 }
 
-func run(args []string) error {
+// mainExitCode runs the command and maps its error to the process exit
+// status (help is a success; see internal/cli), keeping main testable.
+func mainExitCode(args []string) int {
+	err := run(args)
+	if err != nil && !cli.IsHelp(err) {
+		fmt.Fprintln(os.Stderr, "crsim:", err)
+	}
+	return cli.ExitCode(err)
+}
+
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("crsim", flag.ContinueOnError)
 	var (
 		n          = fs.Int("n", 128, "number of participating nodes")
@@ -55,6 +64,7 @@ func run(args []string) error {
 		trials     = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
 		gaincache  = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
 	)
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +72,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	finish, err := obsFlags.Start("crsim")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 
 	var d *geom.Deployment
 	if *deployFile != "" {

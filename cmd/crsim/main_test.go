@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -111,5 +112,73 @@ func TestRunPlotAndMaxRounds(t *testing.T) {
 func TestRunRadioCDChannel(t *testing.T) {
 	if err := run([]string{"-n", "16", "-channel", "radio-cd", "-algo", "cdhalving"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMainExitCodes(t *testing.T) {
+	// -h used to funnel into the generic failure path and exit 1; asking
+	// for usage must exit 0.
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help short", []string{"-h"}, 0},
+		{"help long", []string{"-help"}, 0},
+		{"success", []string{"-n", "16", "-seed", "3"}, 0},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 1},
+		{"bad value", []string{"-deploy", "nope"}, 1},
+	}
+	for _, tc := range cases {
+		if got := mainExitCode(tc.args); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRunWritesMetricsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.ndjson")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-n", "24", "-seed", "5",
+		"-metrics", metrics, "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("metrics report has %d lines, want a run header plus metric events:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("metrics line %d %q: %v", i+1, line, err)
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["event"] != "run" || first["cmd"] != "crsim" {
+		t.Errorf("header = %v, want a crsim run event", first)
+	}
+	if !strings.Contains(string(data), `"name":"sim.rounds"`) ||
+		!strings.Contains(string(data), `"name":"sinr.deliveries"`) {
+		t.Error("report missing the sim.rounds / sinr.deliveries metrics")
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
 	}
 }

@@ -21,9 +21,11 @@ import (
 	"time"
 
 	"fadingcr/internal/baselines"
+	"fadingcr/internal/cli"
 	"fadingcr/internal/core"
 	"fadingcr/internal/geom"
 	"fadingcr/internal/hitting"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/radio"
 	"fadingcr/internal/runner"
 	"fadingcr/internal/schedule"
@@ -37,13 +39,18 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) int {
+func run(args []string) (code int) {
 	fs := flag.NewFlagSet("crverify", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 7, "master seed")
 	trials := fs.Int("trials", 15, "trials per estimated quantity")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
 	gaincache := fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		if cli.IsHelp(err) {
+			// -h/-help is a successful request for usage, not a parse error.
+			return 0
+		}
 		return 2
 	}
 	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
@@ -51,6 +58,19 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "crverify:", err)
 		return 2
 	}
+	finish, err := obsFlags.Start("crverify")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crverify:", err)
+		return 2
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "crverify:", ferr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	start := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 	v := &verifier{seed: *seed, trials: *trials, parallel: *parallel, sinrOpts: sinrOpts}

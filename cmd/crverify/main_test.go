@@ -22,3 +22,23 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatalf("bad flag exited %d, want 2", code)
 	}
 }
+
+func TestRunExitCodes(t *testing.T) {
+	// crverify reserves 2 for misuse; -h/-help asks for usage and must
+	// exit 0 (it used to return 2 via the parse-error path).
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help short", []string{"-h"}, 0},
+		{"help long", []string{"-help"}, 0},
+		{"bad flag", []string{"-nope"}, 2},
+		{"bad gaincache", []string{"-gaincache", "sometimes"}, 2},
+	}
+	for _, tc := range cases {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package cli holds the exit-status conventions shared by the repository's
+// commands. All four CLIs parse flags with flag.ContinueOnError, whose
+// FlagSet.Parse returns flag.ErrHelp for -h/-help after printing usage;
+// funneling that error into the generic failure path made "crsim -h" exit 1.
+// ExitCode centralizes the mapping so help is a success everywhere.
+package cli
+
+import (
+	"errors"
+	"flag"
+)
+
+// ExitCode maps a command's run error to its process exit status: 0 for nil
+// and for flag.ErrHelp (asking for usage is a successful interaction, the
+// GNU/POSIX convention), 1 for anything else.
+func ExitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	return 1
+}
+
+// IsHelp reports whether err is the -h/-help pseudo-error. Commands use it
+// to suppress the "crsim: flag: help requested" noise line — the flag
+// package has already printed the usage text.
+func IsHelp(err error) bool { return errors.Is(err, flag.ErrHelp) }

@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"wrapped help", fmt.Errorf("parse: %w", flag.ErrHelp), 0},
+		{"plain error", errors.New("boom"), 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestHelpFlagsYieldErrHelp(t *testing.T) {
+	// The premise of the mapping: ContinueOnError turns -h and -help into
+	// flag.ErrHelp from Parse.
+	for _, arg := range []string{"-h", "-help", "--help"} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		err := fs.Parse([]string{arg})
+		if !IsHelp(err) {
+			t.Errorf("Parse(%q) = %v, want flag.ErrHelp", arg, err)
+		}
+		if got := ExitCode(err); got != 0 {
+			t.Errorf("ExitCode(Parse(%q)) = %d, want 0", arg, got)
+		}
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse([]string{"-no-such-flag"}); IsHelp(err) || ExitCode(err) != 1 {
+		t.Errorf("unknown flag: IsHelp=%v ExitCode=%d, want false/1", IsHelp(err), ExitCode(err))
+	}
+}

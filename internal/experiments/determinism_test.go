@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"fadingcr/internal/obs"
 )
 
 // renderAll renders an experiment's tables to one string for comparison.
@@ -96,5 +101,55 @@ func TestParallelismInvarianceAcrossSuite(t *testing.T) {
 				t.Errorf("%s tables differ between parallelism 1 and 8", id)
 			}
 		})
+	}
+}
+
+// TestMetricsInvariance is the determinism regression of the observability
+// layer: a representative experiment must render byte-identical tables with
+// metrics recording plus an NDJSON report enabled versus all recording
+// disabled. Instrumentation observes runs off the simulated-randomness path
+// (DESIGN.md §8), so turning it on or off must never leak into results.
+func TestMetricsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := Config{Seed: 42, Quick: true, Trials: 6}
+
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(true) })
+	withMetrics := renderAll(t, "E1", cfg)
+	// Export a report mid-comparison, as a CLI -metrics run would.
+	path := filepath.Join(t.TempDir(), "metrics.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Default.EmitTo(obs.NewSink(f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty metrics report")
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("metrics line %d %q: %v", i+1, line, err)
+		}
+	}
+
+	obs.SetEnabled(false)
+	withoutMetrics := renderAll(t, "E1", cfg)
+	obs.SetEnabled(true)
+
+	if withMetrics != withoutMetrics {
+		t.Error("E1 tables differ between metrics recording enabled and disabled")
 	}
 }

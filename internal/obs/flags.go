@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags are the shared observability flags of the command-line tools:
+//
+//	-metrics FILE     write an NDJSON metrics report after the run
+//	-cpuprofile FILE  write a pprof CPU profile of the run
+//	-memprofile FILE  write a pprof heap profile at the end of the run
+//
+// Usage: f := obs.AddFlags(fs); after fs.Parse, finish, err := f.Start(cmd);
+// run the command body; call finish() and propagate its error. None of the
+// flags affect results — the report and profiles observe the run, they never
+// feed back into it.
+type Flags struct {
+	// Metrics is the NDJSON report path ("" disables). The report holds one
+	// "run" header event followed by one event per registered metric in
+	// ascending name order (see Registry.EmitTo for the schema).
+	Metrics string
+	// CPUProfile is the pprof CPU profile path ("" disables).
+	CPUProfile string
+	// MemProfile is the pprof heap profile path ("" disables).
+	MemProfile string
+}
+
+// AddFlags registers the observability flags on the flag set and returns
+// the struct their values land in.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write an NDJSON metrics report to `FILE` after the run")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `FILE`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to `FILE`")
+	return f
+}
+
+// Start begins CPU profiling when requested and returns the finish function
+// that stops the profile, writes the heap profile, and exports the metrics
+// report. finish is safe to call when every flag is empty (it does nothing)
+// and reports the first error of each step without skipping the others.
+func (f *Flags) Start(cmd string) (finish func() error, err error) {
+	var stopCPU func() error
+	if f.CPUProfile != "" {
+		stopCPU, err = StartCPUProfile(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() error {
+		var errs []error
+		if stopCPU != nil {
+			errs = append(errs, stopCPU())
+		}
+		if f.MemProfile != "" {
+			errs = append(errs, WriteHeapProfile(f.MemProfile))
+		}
+		if f.Metrics != "" {
+			errs = append(errs, writeReport(f.Metrics, cmd))
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+// writeReport exports the Default registry as an NDJSON file: a "run"
+// header identifying the command, then one event per metric.
+func writeReport(path, cmd string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: metrics report: %w", err)
+	}
+	sink := NewSink(f)
+	err = sink.Emit("run", F("cmd", cmd), F("metrics_enabled", Enabled()))
+	if err == nil {
+		err = Default.EmitTo(sink)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: metrics report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAddFlagsRegistersAll(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := AddFlags(fs)
+	err := fs.Parse([]string{"-metrics", "m.ndjson", "-cpuprofile", "cpu.out", "-memprofile", "mem.out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Metrics != "m.ndjson" || f.CPUProfile != "cpu.out" || f.MemProfile != "mem.out" {
+		t.Errorf("parsed flags = %+v", *f)
+	}
+}
+
+func TestStartFinishWritesEverything(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		Metrics:    filepath.Join(dir, "metrics.ndjson"),
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	Default.Counter("obs_test.flag_runs").Inc()
+	finish, err := f.Start("obstest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{f.Metrics, f.CPUProfile, f.MemProfile} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	data, err := os.ReadFile(f.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := parseLines(t, string(data))
+	if lines[0]["event"] != "run" || lines[0]["cmd"] != "obstest" {
+		t.Errorf("header line = %v", lines[0])
+	}
+	found := false
+	for _, l := range lines[1:] {
+		if l["name"] == "obs_test.flag_runs" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("report missing the registered counter")
+	}
+}
+
+func TestStartFinishNoFlagsIsNoop(t *testing.T) {
+	f := &Flags{}
+	finish, err := f.Start("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadCPUProfilePathFails(t *testing.T) {
+	f := &Flags{CPUProfile: filepath.Join(t.TempDir(), "missing", "cpu.pprof")}
+	if _, err := f.Start("bad"); err == nil {
+		t.Error("unwritable cpu profile path accepted")
+	}
+}
+
+func TestFinishBadMetricsPathFails(t *testing.T) {
+	f := &Flags{Metrics: filepath.Join(t.TempDir(), "missing", "m.ndjson")}
+	finish, err := f.Start("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err == nil {
+		t.Error("unwritable metrics path accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing atomic count. The zero value is
+// ready to use; counters handed out by a Registry are process-lifetime
+// cumulative (callers wanting per-run numbers difference two snapshots).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n ≥ 0; negative deltas are a programming error but are not
+// checked on the hot path).
+func (c *Counter) Add(n int64) {
+	if recordingDisabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// A Gauge is a last-writer-wins atomic level (e.g. the effective worker
+// parallelism of the most recent run, or a high-water mark via SetMax).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if recordingDisabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// concurrency-safe high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if recordingDisabled.Load() {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// A Histogram is a fixed-bucket distribution with O(1), allocation-free
+// record. Buckets double geometrically from a base: bucket 0 counts
+// observations below base, bucket i (1 ≤ i ≤ doublings−1) counts
+// base·2^(i−1) ≤ v < base·2^i, and the final bucket counts everything at or
+// above base·2^(doublings−1). The bucket index is computed with math.Frexp
+// (one exponent extraction), not a search, so Observe is constant-time
+// regardless of bucket count.
+type Histogram struct {
+	base      float64
+	doublings int
+	counts    []atomic.Int64 // doublings+1 buckets
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// newHistogram builds the bucket layout. base must be positive and finite
+// and doublings ≥ 1; the Registry validates before construction.
+func newHistogram(base float64, doublings int) *Histogram {
+	return &Histogram{
+		base:      base,
+		doublings: doublings,
+		counts:    make([]atomic.Int64, doublings+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if recordingDisabled.Load() {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// bucketIndex maps a value to its bucket in O(1): the exponent of v/base.
+func (h *Histogram) bucketIndex(v float64) int {
+	if !(v >= h.base) { // also catches NaN
+		return 0
+	}
+	_, exp := math.Frexp(v / h.base) // v/base ∈ [2^(exp−1), 2^exp)
+	if exp > h.doublings || exp == 0 /* Frexp(+Inf) = 0 */ {
+		return h.doublings
+	}
+	return exp
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one histogram bucket in a snapshot. Lt is the bucket's
+// exclusive upper bound rendered as a string ("+Inf" for the overflow
+// bucket) so snapshots serialize to valid JSON, where infinities have no
+// literal.
+type Bucket struct {
+	Lt    string `json:"lt"`
+	Count int64  `json:"count"`
+}
+
+// MetricSnapshot is one metric's point-in-time value. Kind selects which
+// fields are meaningful: Value for counters and gauges; Count, Sum, and
+// Buckets for histograms.
+type MetricSnapshot struct {
+	Name    string
+	Kind    string // "counter" | "gauge" | "histogram"
+	Value   int64
+	Count   int64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// A Registry is a named collection of metrics. The zero value is not usable;
+// use NewRegistry (or the package-level Default). Lookups get-or-create, so
+// instrumented packages declare their metrics as package variables without
+// coordinating registration order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	names   []string // registration order; sorted at snapshot time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// Default is the process-wide registry every instrumented subsystem records
+// into and the CLI -metrics flag exports.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as a different metric kind panics: metric
+// names are a process-wide contract.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.lookup(name, func() any { return &Counter{} }).(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.lookup(name, func() any { return &Gauge{} }).(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with geometric buckets doubling from base (see Histogram). The
+// layout is fixed by the first registration.
+func (r *Registry) Histogram(name string, base float64, doublings int) *Histogram {
+	if !(base > 0) || math.IsInf(base, 1) || doublings < 1 {
+		panic(fmt.Sprintf("obs: histogram %q needs a positive finite base and ≥ 1 doublings (got base=%v, doublings=%d)", name, base, doublings))
+	}
+	h, ok := r.lookup(name, func() any { return newHistogram(base, doublings) }).(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	return h
+}
+
+func (r *Registry) lookup(name string, create func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := create()
+	r.metrics[name] = m
+	r.names = append(r.names, name)
+	return m
+}
+
+// Snapshot returns every registered metric's current value in ascending
+// name order — the deterministic export order the NDJSON report and its
+// tests rely on. Values are read atomically per metric; a snapshot taken
+// concurrently with recording is internally consistent per metric, not
+// across metrics.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make([]any, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		metrics[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(names))
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: m.Load()})
+		case *Gauge:
+			out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: m.Load()})
+		case *Histogram:
+			buckets := make([]Bucket, len(m.counts))
+			bound := m.base
+			for b := range m.counts {
+				lt := "+Inf"
+				if b < len(m.counts)-1 {
+					lt = formatBound(bound)
+					bound *= 2
+				}
+				buckets[b] = Bucket{Lt: lt, Count: m.counts[b].Load()}
+			}
+			out = append(out, MetricSnapshot{
+				Name: name, Kind: "histogram",
+				Count: m.Count(), Sum: m.Sum(), Buckets: buckets,
+			})
+		}
+	}
+	return out
+}
+
+// formatBound renders a bucket bound compactly and losslessly.
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

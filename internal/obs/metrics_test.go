@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	g.SetMax(3)
+	if got := g.Load(); got != 7 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Load(); got != 11 {
+		t.Errorf("SetMax(11) left the gauge at %d", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same name returned distinct counters")
+	}
+	if r.Histogram("h", 1, 4) != r.Histogram("h", 1, 4) {
+		t.Error("same name returned distinct histograms")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	// base 1, 3 doublings: buckets [<1), [1,2), [2,4), [≥4].
+	h := r.Histogram("h", 1, 3)
+	for _, v := range []float64{0.5, 0, -3, math.NaN(), // bucket 0
+		1, 1.99, // bucket 1
+		2, 3.9, // bucket 2
+		4, 100, math.Inf(1)} { // bucket 3
+		h.Observe(v)
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Kind != "histogram" || s.Count != 11 {
+		t.Fatalf("snapshot = %+v, want histogram with 11 observations", s)
+	}
+	wantCounts := []int64{4, 2, 2, 3}
+	wantLts := []string{"1", "2", "4", "+Inf"}
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(wantCounts))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] || b.Lt != wantLts[i] {
+			t.Errorf("bucket %d = {%s, %d}, want {%s, %d}", i, b.Lt, b.Count, wantLts[i], wantCounts[i])
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1e-6, 10)
+	for _, v := range []float64{0.25, 0.5, 1.25} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); got != 2.0 {
+		t.Errorf("Sum = %v, want 2", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+}
+
+func TestSnapshotOrderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra")
+	r.Gauge("alpha")
+	r.Histogram("middle", 1, 2)
+	var names []string
+	for _, m := range r.Snapshot() {
+		names = append(names, m.Name)
+	}
+	want := []string{"alpha", "middle", "zebra"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSetEnabledStopsRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1, 2)
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Inc()
+	g.Set(9)
+	g.SetMax(9)
+	h.Observe(1)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Errorf("disabled recording moved metrics: counter=%d gauge=%d hist=%d",
+			c.Load(), g.Load(), h.Count())
+	}
+	if Enabled() {
+		t.Error("Enabled() = true after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Load() != 1 {
+		t.Error("re-enabled counter did not record")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", 1, 8)
+	g := r.Gauge("g")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1)
+				g.SetMax(int64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != workers*per {
+		t.Errorf("histogram sum = %v, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != workers*per-1 {
+		t.Errorf("gauge high-water = %d, want %d", got, workers*per-1)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseLines decodes every NDJSON line, failing the test on any malformed
+// one, and returns the decoded objects.
+func parseLines(t *testing.T, data string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimSuffix(data, "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d %q: %v", i+1, line, err)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+func TestSinkEmit(t *testing.T) {
+	var b strings.Builder
+	s := NewSink(&b)
+	if err := s.Emit("run", F("cmd", "crsim"), F("n", 3), F("ok", true)); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"event":"run","cmd":"crsim","n":3,"ok":true}` + "\n"
+	if b.String() != want {
+		t.Errorf("Emit wrote %q, want %q", b.String(), want)
+	}
+}
+
+func TestSinkRejectsUnencodableValue(t *testing.T) {
+	var b strings.Builder
+	s := NewSink(&b)
+	if err := s.Emit("bad", F("f", func() {})); err == nil {
+		t.Error("unencodable value accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("failed Emit wrote a partial line: %q", b.String())
+	}
+}
+
+func TestSinkConcurrentEmitsStayLineAtomic(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	s := NewSink(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Emit("tick", F("i", i)); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	lines := parseLines(t, b.String())
+	if len(lines) != 400 {
+		t.Errorf("got %d lines, want 400", len(lines))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestRegistryEmitTo(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(3)
+	r.Gauge("a.level").Set(5)
+	h := r.Histogram("c.hist", 1, 2)
+	h.Observe(1.5)
+	var b strings.Builder
+	if err := r.EmitTo(NewSink(&b)); err != nil {
+		t.Fatal(err)
+	}
+	lines := parseLines(t, b.String())
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), b.String())
+	}
+	// Ascending name order: a.level, b.count, c.hist.
+	if lines[0]["event"] != "gauge" || lines[0]["name"] != "a.level" || lines[0]["value"] != float64(5) {
+		t.Errorf("line 1 = %v", lines[0])
+	}
+	if lines[1]["event"] != "counter" || lines[1]["name"] != "b.count" || lines[1]["value"] != float64(3) {
+		t.Errorf("line 2 = %v", lines[1])
+	}
+	if lines[2]["event"] != "histogram" || lines[2]["name"] != "c.hist" || lines[2]["count"] != float64(1) {
+		t.Errorf("line 3 = %v", lines[2])
+	}
+	buckets, ok := lines[2]["buckets"].([]any)
+	if !ok || len(buckets) != 3 {
+		t.Fatalf("histogram buckets = %v, want 3 entries", lines[2]["buckets"])
+	}
+	last := buckets[2].(map[string]any)
+	if last["lt"] != "+Inf" {
+		t.Errorf("overflow bucket lt = %v, want +Inf", last["lt"])
+	}
+}

@@ -1,0 +1,36 @@
+// Package obs is the repository's dependency-free observability layer: a
+// process-wide metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms with O(1) record), an NDJSON event sink for structured per-run
+// records, and pprof profiling hooks. The hot subsystems — the Monte Carlo
+// engine (internal/runner), the SINR delivery engine (internal/sinr), and
+// the round simulator (internal/sim) — record into the Default registry,
+// and the CLIs export it through the shared -metrics/-cpuprofile/-memprofile
+// flags (see Flags).
+//
+// Observability never changes results. Nothing in this package touches the
+// simulated-randomness path: metrics are write-only from the simulation's
+// point of view, recording is plain atomic arithmetic off the seed-derivation
+// contract, and instrumentation inside //crlint:hotpath functions is
+// allocation-free, so experiment outputs are byte-identical whether metrics
+// are enabled, disabled, or exported (TestMetricsInvariance is the
+// regression). SetEnabled(false) turns every recording operation into a
+// no-op for overhead measurements; BENCH_obs.json records the on/off delta
+// on the delivery hot path.
+package obs
+
+import "sync/atomic"
+
+// recordingDisabled flips every Counter/Gauge/Histogram recording operation
+// to a no-op. The zero value means enabled: observability is on by default
+// and costs one atomic load plus one atomic add per operation.
+var recordingDisabled atomic.Bool
+
+// SetEnabled turns metric recording on (the default) or off process-wide.
+// Disabling is for overhead measurement and A/B invariance tests; exported
+// snapshots of a disabled registry simply stop moving.
+func SetEnabled(on bool) { recordingDisabled.Store(!on) }
+
+// Enabled reports whether metric recording is on. Instrumentation sites
+// whose bookkeeping has a cost besides the metric write itself (e.g. the
+// runner's per-trial clock reads) consult it to skip that work too.
+func Enabled() bool { return !recordingDisabled.Load() }

@@ -1,0 +1,18 @@
+package runner
+
+import "fadingcr/internal/obs"
+
+// Engine metrics, exported through the CLI -metrics flag. All of them are
+// observational: they record what the engine did and never influence trial
+// scheduling, seeding, or results (DESIGN.md §8). Counters are cumulative
+// over the process; the trial-duration histogram spans 1 µs to ~4.5 min in
+// power-of-two buckets.
+var (
+	mRuns            = obs.Default.Counter("runner.runs")
+	mTrialsStarted   = obs.Default.Counter("runner.trials_started")
+	mTrialsCompleted = obs.Default.Counter("runner.trials_completed")
+	mTrialsErrored   = obs.Default.Counter("runner.trials_errored")
+	mTrialsPanicked  = obs.Default.Counter("runner.trials_panicked")
+	mTrialSeconds    = obs.Default.Histogram("runner.trial_seconds", 1e-6, 28)
+	mParallelism     = obs.Default.Gauge("runner.parallelism")
+)

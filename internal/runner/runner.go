@@ -20,12 +20,14 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"fadingcr/internal/obs"
 	"fadingcr/internal/xrand"
 )
 
@@ -155,11 +157,21 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 		res.Elapsed = time.Since(start) //crlint:allow nowallclock elapsed-time reporting
 		return res, ctx.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		// A context canceled before the run starts must execute nothing:
+		// without this check the feeder's select below could still hand out
+		// indices (select picks randomly among ready cases), making Done
+		// nondeterministic for an already-dead context.
+		res.Elapsed = time.Since(start) //crlint:allow nowallclock elapsed-time reporting
+		return res, err
+	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	mRuns.Inc()
+	mParallelism.Set(int64(par))
 
 	// Workers write disjoint slice elements and announce completions on a
 	// buffered channel sized so they can never block; the collector (this
@@ -170,6 +182,13 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 	go func() {
 		defer close(indexCh)
 		for i := 0; i < trials; i++ {
+			// Checked before every send: when the context is already dead
+			// and a worker is simultaneously ready to receive, both select
+			// cases below are ready and Go picks one at random — without
+			// this check a canceled run could keep dispatching trials.
+			if ctx.Err() != nil {
+				return
+			}
 			select {
 			case indexCh <- i:
 			case <-ctx.Done():
@@ -183,7 +202,15 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 		go func() {
 			defer wg.Done()
 			for i := range indexCh {
+				mTrialsStarted.Inc()
+				var trialStart time.Time
+				if obs.Enabled() {
+					trialStart = time.Now() //crlint:allow nowallclock metrics-only trial timing, never feeds the simulation
+				}
 				res.Values[i], res.Errs[i] = runTrial(ctx, i, fn)
+				if obs.Enabled() {
+					mTrialSeconds.Observe(time.Since(trialStart).Seconds()) //crlint:allow nowallclock metrics-only trial timing
+				}
 				completedCh <- i
 			}
 		}()
@@ -196,8 +223,14 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 	errCount := 0
 	for i := range completedCh {
 		res.Done++
+		mTrialsCompleted.Inc()
 		if res.Errs[i] != nil {
 			errCount++
+			mTrialsErrored.Inc()
+			var pe *PanicError
+			if errors.As(res.Errs[i], &pe) {
+				mTrialsPanicked.Inc()
+			}
 		} else if opts.Solved == nil || opts.Solved(res.Values[i]) {
 			res.Solved++
 		}

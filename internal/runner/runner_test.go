@@ -290,3 +290,69 @@ func TestAggregatorMerge(t *testing.T) {
 		t.Error("merge into empty aggregator must copy")
 	}
 }
+
+func TestPreCanceledContextRunsNothing(t *testing.T) {
+	// Regression: the feeder used to race a dead ctx.Done() against the
+	// index send in one select, so an already-canceled context could still
+	// dispatch a nondeterministic handful of trials. A pre-canceled run
+	// must execute zero trials, every time.
+	for attempt := 0; attempt < 50; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var calls atomic.Int32
+		res, err := Run(ctx, 100, func(ctx context.Context, trial int) (int, error) {
+			calls.Add(1)
+			return trial, nil
+		}, Options[int]{Parallelism: 8})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if res.Done != 0 {
+			t.Fatalf("attempt %d: Done = %d, want 0 (no trial may run under a pre-canceled context)", attempt, res.Done)
+		}
+		if n := calls.Load(); n != 0 {
+			t.Fatalf("attempt %d: fn called %d times under a pre-canceled context", attempt, n)
+		}
+	}
+}
+
+func TestRunRecordsMetrics(t *testing.T) {
+	started0 := mTrialsStarted.Load()
+	completed0 := mTrialsCompleted.Load()
+	errored0 := mTrialsErrored.Load()
+	panicked0 := mTrialsPanicked.Load()
+	durations0 := mTrialSeconds.Count()
+	res, err := Run(context.Background(), 10, func(ctx context.Context, trial int) (int, error) {
+		switch trial {
+		case 3:
+			return 0, errors.New("boom")
+		case 7:
+			panic("kaboom")
+		}
+		return trial, nil
+	}, Options[int]{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 10 {
+		t.Fatalf("Done = %d, want 10", res.Done)
+	}
+	if got := mTrialsStarted.Load() - started0; got != 10 {
+		t.Errorf("trials_started delta = %d, want 10", got)
+	}
+	if got := mTrialsCompleted.Load() - completed0; got != 10 {
+		t.Errorf("trials_completed delta = %d, want 10", got)
+	}
+	if got := mTrialsErrored.Load() - errored0; got != 2 {
+		t.Errorf("trials_errored delta = %d, want 2 (one error, one panic)", got)
+	}
+	if got := mTrialsPanicked.Load() - panicked0; got != 1 {
+		t.Errorf("trials_panicked delta = %d, want 1", got)
+	}
+	if got := mTrialSeconds.Count() - durations0; got != 10 {
+		t.Errorf("trial_seconds observations delta = %d, want 10", got)
+	}
+	if got := mParallelism.Load(); got != 4 {
+		t.Errorf("parallelism gauge = %d, want 4", got)
+	}
+}

@@ -14,6 +14,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"fadingcr/internal/obs"
 )
 
 // Channel is one-round message delivery over a fixed set of n nodes. It is
@@ -124,6 +126,13 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 	tx := make([]bool, n)
 	recv := make([]int, n)
 	var transmissions int64
+	var rounds, receptions int64
+	mRuns.Inc()
+	defer func() {
+		mRounds.Add(rounds)
+		mReceptions.Add(receptions)
+		mTransmissions.Add(transmissions)
+	}()
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		count, solo := 0, -1
 		for u, node := range nodes {
@@ -140,6 +149,16 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 		}
 		transmissions += int64(count)
 		ch.Deliver(tx, recv)
+		rounds++
+		if obs.Enabled() {
+			// The reception scan exists only to feed the metric; skip the
+			// pass entirely when recording is off.
+			for _, from := range recv {
+				if from >= 0 {
+					receptions++
+				}
+			}
+		}
 		if cfg.Tracer != nil {
 			cfg.Tracer.OnRound(round, nodes, tx, recv)
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"fadingcr/internal/obs"
 	"fadingcr/internal/radio"
 )
 
@@ -261,5 +262,59 @@ func TestFeedbackZeroValue(t *testing.T) {
 	var f Feedback
 	if f != Unknown {
 		t.Errorf("zero Feedback = %v, want Unknown", f)
+	}
+}
+
+func TestRunRecordsMetrics(t *testing.T) {
+	runs0 := mRuns.Load()
+	rounds0 := mRounds.Load()
+	tx0 := mTransmissions.Load()
+	recv0 := mReceptions.Load()
+	// Rounds 1–2: both nodes transmit (collision, nothing received on a
+	// plain radio channel). Round 3: only node 1 — solved, node 0 receives.
+	b := &scheduleBuilder{schedules: []map[int]bool{
+		{1: true, 2: true},
+		{1: true, 2: true, 3: true},
+	}}
+	res, err := Run(mustRadio(t, 2, false), b, 1, Config{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Rounds != 3 {
+		t.Fatalf("Result = %+v, want solved in round 3", res)
+	}
+	if got := mRuns.Load() - runs0; got != 1 {
+		t.Errorf("sim.runs delta = %d, want 1", got)
+	}
+	if got := mRounds.Load() - rounds0; got != 3 {
+		t.Errorf("sim.rounds delta = %d, want 3", got)
+	}
+	if got := mTransmissions.Load() - tx0; got != 5 {
+		t.Errorf("sim.transmissions delta = %d, want 5", got)
+	}
+	if got := mReceptions.Load() - recv0; got != 1 {
+		t.Errorf("sim.receptions delta = %d, want 1 (the solo broadcast)", got)
+	}
+}
+
+func TestRunDisabledMetricsStillCorrect(t *testing.T) {
+	// Disabling recording must not change execution results, only stop the
+	// counters (the §8 observability contract).
+	obs.SetEnabled(false)
+	t.Cleanup(func() { obs.SetEnabled(true) })
+	runs0 := mRuns.Load()
+	b := &scheduleBuilder{schedules: []map[int]bool{
+		{1: true, 2: true},
+		{1: true, 2: true, 3: true},
+	}}
+	res, err := Run(mustRadio(t, 2, false), b, 1, Config{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || res.Rounds != 3 || res.Winner != 1 || res.Transmissions != 5 {
+		t.Errorf("Result = %+v, want solved in round 3 by node 1 with 5 transmissions", res)
+	}
+	if got := mRuns.Load() - runs0; got != 0 {
+		t.Errorf("sim.runs advanced by %d with recording disabled", got)
 	}
 }

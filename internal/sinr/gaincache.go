@@ -3,7 +3,6 @@ package sinr
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"fadingcr/internal/geom"
 )
@@ -109,7 +108,7 @@ func (gc *gainCache) bytes() int64 { return int64(gc.n) * int64(gc.n) * 8 }
 func newGainCache(pts []geom.Point, alpha float64, ec engineConfig) *gainCache {
 	n := len(pts)
 	if !ec.cache || int64(n)*int64(n)*8 > ec.cap {
-		gcStats.fallback.Add(1)
+		mGainCacheFallback.Inc()
 		return nil
 	}
 	g := make([]float64, n*n)
@@ -123,13 +122,8 @@ func newGainCache(pts []geom.Point, alpha float64, ec engineConfig) *gainCache {
 		}
 	}
 	gc := &gainCache{n: n, g: g}
-	gcStats.cached.Add(1)
-	for {
-		max := gcStats.maxBytes.Load()
-		if gc.bytes() <= max || gcStats.maxBytes.CompareAndSwap(max, gc.bytes()) {
-			break
-		}
-	}
+	mGainCacheBuilt.Inc()
+	mGainCacheMaxBytes.SetMax(gc.bytes())
 	return gc
 }
 
@@ -176,15 +170,6 @@ func (s *deliverScratch) indices(tx []bool) []int {
 	return out
 }
 
-// gcStats are process-wide gain-cache construction counters, reported by the
-// CLIs' summary lines. Channels are built per trial across worker
-// goroutines, so the counters are atomic.
-var gcStats struct {
-	cached   atomic.Int64
-	fallback atomic.Int64
-	maxBytes atomic.Int64
-}
-
 // GainCacheStats is a snapshot of the process-wide gain-cache counters.
 type GainCacheStats struct {
 	// Cached counts channels built with a precomputed gain matrix.
@@ -198,11 +183,14 @@ type GainCacheStats struct {
 
 // ReadGainCacheStats snapshots the counters. They are cumulative for the
 // process; callers wanting per-run numbers should difference two snapshots.
+// The counters are the sinr.gaincache_* metrics of internal/obs (this
+// function predates the metrics registry and is kept as its façade), so
+// they stop advancing while obs.SetEnabled(false) is in effect.
 func ReadGainCacheStats() GainCacheStats {
 	return GainCacheStats{
-		Cached:   gcStats.cached.Load(),
-		Fallback: gcStats.fallback.Load(),
-		MaxBytes: gcStats.maxBytes.Load(),
+		Cached:   mGainCacheBuilt.Load(),
+		Fallback: mGainCacheFallback.Load(),
+		MaxBytes: mGainCacheMaxBytes.Load(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fadingcr/internal/geom"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/xrand"
 )
 
@@ -226,6 +227,11 @@ func TestGainCacheOptionsModes(t *testing.T) {
 // TestDeliverZeroAllocsSteadyState: after the first call, Deliver allocates
 // nothing in either engine, for all three channel types.
 func TestDeliverZeroAllocsSteadyState(t *testing.T) {
+	// Recording is on by default; assert it so the zero-alloc bound below
+	// covers the metric increments on the hot path, not just the engine.
+	if !obs.Enabled() {
+		t.Fatal("metrics recording unexpectedly disabled; this test must measure the instrumented path")
+	}
 	const n = 96
 	d, tx := equivGeometry(t, 21, n, 0.25)
 	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
@@ -290,5 +296,36 @@ func TestGainCacheStatsCounters(t *testing.T) {
 	}
 	if s := after.String(); s == "" {
 		t.Error("empty stats string")
+	}
+}
+
+// TestDeliveryCounters: every Deliver moves the sinr.deliveries metrics and
+// attributes the call to the engine that served it.
+func TestDeliveryCounters(t *testing.T) {
+	d, tx := equivGeometry(t, 41, 24, 0.3)
+	p := fillPower(Params{Alpha: 3, Beta: 1.5, Noise: 1}, d)
+	recv := make([]int, 24)
+	cached, err := New(p, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := New(p, d.Points, WithGainCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total0 := mDeliveries.Load()
+	hit0 := mDeliveriesCached.Load()
+	miss0 := mDeliveriesFallback.Load()
+	cached.Deliver(tx, recv)
+	cached.Deliver(tx, recv)
+	uncached.Deliver(tx, recv)
+	if got := mDeliveries.Load() - total0; got != 3 {
+		t.Errorf("sinr.deliveries delta = %d, want 3", got)
+	}
+	if got := mDeliveriesCached.Load() - hit0; got != 2 {
+		t.Errorf("sinr.deliveries_cached delta = %d, want 2", got)
+	}
+	if got := mDeliveriesFallback.Load() - miss0; got != 1 {
+		t.Errorf("sinr.deliveries_fallback delta = %d, want 1", got)
 	}
 }

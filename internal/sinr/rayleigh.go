@@ -88,6 +88,12 @@ func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
+	mDeliveries.Inc()
+	if c.gains != nil {
+		mDeliveriesCached.Inc()
+	} else {
+		mDeliveriesFallback.Inc()
+	}
 	// Fades are consumed in listener-major order (the loop below), so the
 	// engine keeps that structure — only the attenuation lookup is cached.
 	// Restructuring transmitter-major would reorder the rng draws and change

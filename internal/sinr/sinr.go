@@ -190,11 +190,14 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 	if len(tx) != len(c.pts) || len(recv) != len(c.pts) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
+	mDeliveries.Inc()
 	txList := c.scratch.indices(tx)
 	if c.gains != nil {
+		mDeliveriesCached.Inc()
 		c.deliverCached(txList, tx, recv)
 		return
 	}
+	mDeliveriesFallback.Inc()
 	for v := range c.pts {
 		recv[v] = -1
 		if tx[v] || len(txList) == 0 {

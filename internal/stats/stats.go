@@ -87,11 +87,18 @@ func QuantileOf(xs []float64, q float64) float64 {
 }
 
 // MeanCI returns the normal-approximation confidence interval
-// mean ± z·std/√n. Use z = 1.96 for 95%.
+// mean ± z·std/√n. Use z = 1.96 for 95%. It returns an error for samples
+// of fewer than two observations: the sample standard deviation of a
+// single point is undefined (its n−1 denominator vanishes), so n = 1 used
+// to yield a silently degenerate zero-width interval — certainty the data
+// cannot support.
 func MeanCI(xs []float64, z float64) (lo, hi float64, err error) {
 	s, err := Summarize(xs)
 	if err != nil {
 		return 0, 0, err
+	}
+	if s.N < 2 {
+		return 0, 0, fmt.Errorf("stats: MeanCI needs at least 2 observations, got %d", s.N)
 	}
 	half := z * s.Std / math.Sqrt(float64(s.N))
 	return s.Mean - half, s.Mean + half, nil

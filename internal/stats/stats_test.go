@@ -113,6 +113,22 @@ func TestMeanCI(t *testing.T) {
 	}
 }
 
+func TestMeanCISingleObservationRejected(t *testing.T) {
+	// A lone observation has no sample standard deviation; it used to
+	// produce a zero-width "interval" claiming perfect certainty.
+	if _, _, err := MeanCI([]float64{7}, 1.96); err == nil {
+		t.Error("single observation accepted; want an error, not a degenerate zero-width interval")
+	}
+	// Two observations are the minimum well-defined sample.
+	lo, hi, err := MeanCI([]float64{1, 3}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 2 && 2 < hi) {
+		t.Errorf("CI [%v, %v] does not bracket the mean 2", lo, hi)
+	}
+}
+
 func TestBootstrapCIBracketsTruth(t *testing.T) {
 	rng := xrand.New(8)
 	xs := make([]float64, 400)
