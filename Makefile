@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short vet lint bench results obs-smoke clean
+.PHONY: all build test test-short vet lint bench results obs-smoke trace-smoke clean
 
 all: build vet lint test
 
@@ -43,6 +43,23 @@ obs-smoke:
 	@if command -v jq >/dev/null 2>&1; then jq -ce . bin/metrics.ndjson > /dev/null && echo "NDJSON report valid"; \
 	else echo "jq not installed, skipping NDJSON validation"; fi
 	@test -s bin/cpu.pprof && test -s bin/mem.pprof && echo "profiles written"
+
+# Mirror of CI's trace-smoke job: traced and untraced runs must have
+# identical stdout, same-seed traces must be byte-identical (crtrace diff
+# exits 0), and bounded Monte Carlo capture must sample deterministically.
+trace-smoke:
+	mkdir -p bin
+	go run ./cmd/crsim -n 64 -seed 7 -trace-out bin/trace-a.ndjson -trace-classes > bin/out-traced.txt
+	go run ./cmd/crsim -n 64 -seed 7 > bin/out-plain.txt
+	cmp bin/out-traced.txt bin/out-plain.txt
+	go run ./cmd/crsim -n 64 -seed 7 -trace-out bin/trace-b.ndjson -trace-classes > /dev/null
+	cmp bin/trace-a.ndjson bin/trace-b.ndjson
+	go run ./cmd/crtrace diff bin/trace-a.ndjson bin/trace-b.ndjson
+	rm -rf bin/traces
+	go run ./cmd/crsim -n 64 -trials 6 -seed 7 -trace-dir bin/traces -trace-every 2 > /dev/null
+	go run ./cmd/crtrace summary bin/traces/*.ndjson
+	@if command -v jq >/dev/null 2>&1; then jq -ce . bin/trace-a.ndjson > /dev/null && echo "trace NDJSON valid"; \
+	else echo "jq not installed, skipping NDJSON validation"; fi
 
 clean:
 	go clean ./...

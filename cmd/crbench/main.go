@@ -27,6 +27,7 @@ import (
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/obs"
 	"fadingcr/internal/sinr"
+	"fadingcr/internal/trace"
 )
 
 func main() {
@@ -56,6 +57,12 @@ func run(args []string, stdout io.Writer) (err error) {
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		gaincache = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+
+		traceDir      = fs.String("trace-dir", "", "write per-trial structured traces into this directory (analyse with crtrace)")
+		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
+		traceEvery    = fs.Int("trace-every", 100, "trace every Kth trial of each trial loop")
+		traceFailures = fs.Bool("trace-failures", false, "keep only unsolved trials' traces")
+		traceClasses  = fs.Bool("trace-classes", false, "include per-round link-class censuses in traces")
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +126,22 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx, GainCache: *gaincache}
+	if *traceDir != "" {
+		traceFormat, err := trace.ParseFormat(*traceFmt)
+		if err != nil {
+			return err
+		}
+		cfg.Trace, err = trace.NewCapture("crbench", trace.Policy{
+			Dir:          *traceDir,
+			Format:       traceFormat,
+			EveryK:       *traceEvery,
+			FailuresOnly: *traceFailures,
+			Classes:      *traceClasses,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	runStart := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 	for _, e := range selected {
 		start := time.Now() //crlint:allow nowallclock per-experiment elapsed-time line
@@ -141,5 +164,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d, gain cache %s: %s)\n",
 		len(selected), time.Since(runStart).Round(time.Millisecond), effective, //crlint:allow nowallclock CLI elapsed-time summary
 		*gaincache, sinr.ReadGainCacheStats())
+	if cfg.Trace != nil {
+		// Stderr, so table output stays byte-identical with tracing on or off.
+		fmt.Fprintf(os.Stderr, "crbench: %d trace files written to %s (%d dropped by retention)\n",
+			len(cfg.Trace.Written()), *traceDir, cfg.Trace.Dropped())
+	}
 	return nil
 }

@@ -63,12 +63,23 @@ func run(args []string) (err error) {
 		deployFile = fs.String("deploy-file", "", "load node positions from this CSV (x,y per line) instead of -deploy")
 		trials     = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
 		gaincache  = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+
+		traceOut      = fs.String("trace-out", "", "write a structured event trace of the run to this file (analyse with crtrace)")
+		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
+		traceClasses  = fs.Bool("trace-classes", false, "include per-round link-class censuses in structured traces")
+		traceDir      = fs.String("trace-dir", "", "with -trials: write per-trial structured traces into this directory")
+		traceEvery    = fs.Int("trace-every", 1, "with -trace-dir: trace every Kth trial")
+		traceFailures = fs.Bool("trace-failures", false, "with -trace-dir: keep only unsolved trials' traces")
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
+	if err != nil {
+		return err
+	}
+	traceFormat, err := trace.ParseFormat(*traceFmt)
 	if err != nil {
 		return err
 	}
@@ -144,9 +155,30 @@ func run(args []string) (err error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 2000 + 200*int(math.Ceil(math.Log2(float64(d.N())+1)))
 	}
+	// hdr is the trace identity template for structured capture; per-run
+	// code fills in Trial and the protocol seed.
+	hdr := trace.Header{
+		Schema:     trace.SchemaVersion,
+		Cmd:        "crsim",
+		N:          d.N(),
+		DeploySeed: *seed,
+		Algo:       builder.Name(),
+		Channel:    *channel,
+		MaxRounds:  cfg.MaxRounds,
+		Points:     d.Points,
+	}
+
 	rec := &trace.Recorder{}
 	if *showTrace || *csvPath != "" || *plot {
 		cfg.Tracer = rec
+	}
+	if *traceOut != "" && *trials == 1 {
+		rec.PerNode = true
+		rec.Classes = *traceClasses
+		rec.Header = hdr
+		rec.Header.Seed = *seed + 2
+		cfg.Tracer = rec
+		trace.Attach(rec, ch)
 	}
 
 	fmt.Printf("deployment: %s, n=%d, R=%.4g (%d possible link classes)\n", *deploy, d.N(), d.R, d.LinkClassCount())
@@ -163,7 +195,20 @@ func run(args []string) (err error) {
 	fmt.Printf("algorithm:  %s\n", builder.Name())
 
 	if *trials > 1 {
-		return runTrials(ch, builder, *seed, cfg, *trials)
+		var capture *trace.Capture
+		if *traceDir != "" {
+			capture, err = trace.NewCapture("crsim", trace.Policy{
+				Dir:          *traceDir,
+				Format:       traceFormat,
+				EveryK:       *traceEvery,
+				FailuresOnly: *traceFailures,
+				Classes:      *traceClasses,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return runTrials(ch, builder, *seed, cfg, *trials, capture, hdr)
 	}
 
 	res, err := sim.Run(ch, builder, *seed+2, cfg)
@@ -202,17 +247,65 @@ func run(args []string) (err error) {
 		}
 		fmt.Printf("trace written to %s\n", *csvPath)
 	}
+	if *traceOut != "" {
+		if err := writeStructuredTrace(rec, *traceOut, traceFormat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStructuredTrace serialises a structured recorder to path. The status
+// line goes to stderr: stdout stays byte-identical with tracing on or off.
+func writeStructuredTrace(rec *trace.Recorder, path string, f trace.Format) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = f.Write(rec, out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "crsim: structured trace written to %s\n", path)
 	return nil
 }
 
 // runTrials executes several independent runs and prints summary statistics.
-func runTrials(ch sim.Channel, builder sim.Builder, seed uint64, cfg sim.Config, trials int) error {
+// Trials share one channel (the Rayleigh fade stream is stateful across
+// runs), so capture attaches and detaches the recorder around each sampled
+// trial; the loop stays sequential and its stdout is byte-identical with
+// capture on or off.
+func runTrials(ch sim.Channel, builder sim.Builder, seed uint64, cfg sim.Config, trials int, capture *trace.Capture, hdr trace.Header) error {
 	var rounds []float64
 	unsolved := 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := sim.Run(ch, builder, xrand.Split(seed, uint64(trial)), cfg)
+		protoSeed := xrand.Split(seed, uint64(trial))
+		var rec *trace.Recorder
+		if capture != nil {
+			if rec = capture.Recorder(trial); rec != nil {
+				h := hdr
+				h.Trial = rec.Header.Trial
+				h.Seed = protoSeed
+				rec.Header = h
+				cfg.Tracer = rec
+				trace.Attach(rec, ch)
+			}
+		}
+		res, err := sim.Run(ch, builder, protoSeed, cfg)
+		if rec != nil {
+			trace.Detach(ch)
+			cfg.Tracer = nil
+		}
 		if err != nil {
 			return err
+		}
+		if rec != nil {
+			if err := capture.Commit(trial, rec, res.Solved); err != nil {
+				return err
+			}
 		}
 		if !res.Solved {
 			unsolved++
@@ -226,6 +319,10 @@ func runTrials(ch sim.Channel, builder sim.Builder, seed uint64, cfg sim.Config,
 	fmt.Printf("trials:     %d (%d unsolved within %d rounds)\n", trials, unsolved, cfg.MaxRounds)
 	fmt.Printf("rounds:     mean=%.1f median=%.1f p95=%.1f max=%.0f\n",
 		s.Mean, s.Median, stats.QuantileOf(rounds, 0.95), s.Max)
+	if capture != nil {
+		fmt.Fprintf(os.Stderr, "crsim: %d trace files written to %s (%d dropped by retention)\n",
+			len(capture.Written()), capture.Policy().Dir, capture.Dropped())
+	}
 	return nil
 }
 

@@ -11,10 +11,12 @@ import (
 	"sort"
 
 	"fadingcr/internal/geom"
+	"fadingcr/internal/radio"
 	"fadingcr/internal/runner"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
 	"fadingcr/internal/table"
+	"fadingcr/internal/trace"
 )
 
 // Config controls the scale of an experiment run.
@@ -39,6 +41,11 @@ type Config struct {
 	// default memory cap, "on" caches regardless of size, "off" forces
 	// on-the-fly computation. Results are bit-identical in every mode.
 	GainCache string
+	// Trace, when non-nil, captures structured per-trial event traces of
+	// the experiment's trial loops under the capture's retention policy.
+	// Tracing is observational: experiment results and rendered tables are
+	// byte-identical with it on or off, at any parallelism.
+	Trace *trace.Capture
 }
 
 // sinrOptions translates the GainCache mode into channel options.
@@ -146,9 +153,26 @@ type trialOutcome struct {
 	solved bool
 }
 
+// channelName maps a channel value to its trace header name.
+func channelName(ch sim.Channel) string {
+	switch ch.(type) {
+	case *sinr.Channel:
+		return "sinr"
+	case *sinr.RayleighChannel:
+		return "rayleigh"
+	case *radio.Channel:
+		return "radio"
+	default:
+		return ""
+	}
+}
+
 // runTrialOutcomes is the common body of trialRounds and trialStats: one
 // simulator execution per trial on a fresh deployment, seeded by the
-// runner.TrialSeeds contract.
+// runner.TrialSeeds contract. Every trial builds its own deployment and
+// channel, so Config.Trace capture composes with full parallelism: a
+// sampled trial's recorder observes only that trial's channel, and each
+// trace file is a pure function of (Seed, trial).
 func runTrialOutcomes(
 	cfg Config,
 	trials int,
@@ -167,9 +191,29 @@ func runTrialOutcomes(
 		if err != nil {
 			return trialOutcome{}, fmt.Errorf("trial %d channel: %w", trial, err)
 		}
-		res, err := sim.Run(ch, builder, pseed, simCfg)
+		trialCfg := simCfg // copy: trials run concurrently
+		var rec *trace.Recorder
+		if cfg.Trace != nil && trialCfg.Tracer == nil {
+			if rec = cfg.Trace.Recorder(trial); rec != nil {
+				rec.Header.N = d.N()
+				rec.Header.Seed = pseed
+				rec.Header.DeploySeed = dseed
+				rec.Header.Algo = builder.Name()
+				rec.Header.Channel = channelName(ch)
+				rec.Header.MaxRounds = trialCfg.MaxRounds
+				rec.Header.Points = append(rec.Header.Points[:0], d.Points...)
+				trialCfg.Tracer = rec
+				trace.Attach(rec, ch)
+			}
+		}
+		res, err := sim.Run(ch, builder, pseed, trialCfg)
 		if err != nil {
 			return trialOutcome{}, fmt.Errorf("trial %d run: %w", trial, err)
+		}
+		if rec != nil {
+			if err := cfg.Trace.Commit(trial, rec, res.Solved); err != nil {
+				return trialOutcome{}, fmt.Errorf("trial %d trace: %w", trial, err)
+			}
 		}
 		return trialOutcome{rounds: float64(res.Rounds), solved: res.Solved}, nil
 	})

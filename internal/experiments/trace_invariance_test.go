@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fadingcr/internal/trace"
+)
+
+// newTestCapture builds a capture writing into a fresh temp dir.
+func newTestCapture(t *testing.T, dir string, p trace.Policy) *trace.Capture {
+	t.Helper()
+	p.Dir = dir
+	c, err := trace.NewCapture("test", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTraceInvariance is the observability contract of the tracing
+// subsystem: for every registered experiment, the rendered result tables
+// must be byte-identical with structured trace capture on or off. Tracing
+// observes executions (an extra Tracer call per round, a reception observer
+// on the channel) without touching any float or rng sequence, so enabling
+// it must never leak into results.
+func TestTraceInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			base := Config{Seed: 23, Quick: true, Trials: 2}
+			plain := renderAll(t, e.ID, base)
+
+			traced := base
+			traced.Trace = newTestCapture(t, t.TempDir(), trace.Policy{Classes: true})
+			if got := renderAll(t, e.ID, traced); got != plain {
+				t.Errorf("%s tables differ with tracing enabled", e.ID)
+			}
+		})
+	}
+}
+
+// TestTraceDeterminism: two traced runs with the same master seed must
+// produce the same set of trace files with byte-identical contents, at
+// different parallelisms, and trace.Diff must find the parsed traces
+// identical (the contract `crtrace diff` exposes as an exit code).
+func TestTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	capture := func(parallelism int) (string, *trace.Capture) {
+		dir := t.TempDir()
+		c := newTestCapture(t, dir, trace.Policy{Classes: true})
+		cfg := Config{Seed: 42, Quick: true, Trials: 4, Parallelism: parallelism, Trace: c}
+		renderAll(t, "E1", cfg)
+		return dir, c
+	}
+	dirA, capA := capture(1)
+	dirB, capB := capture(8)
+
+	filesA, filesB := capA.Written(), capB.Written()
+	if len(filesA) == 0 {
+		t.Fatal("traced E1 run wrote no trace files")
+	}
+	if len(filesA) != len(filesB) {
+		t.Fatalf("runs wrote %d vs %d trace files", len(filesA), len(filesB))
+	}
+	for i := range filesA {
+		nameA, nameB := filepath.Base(filesA[i]), filepath.Base(filesB[i])
+		if nameA != nameB {
+			t.Fatalf("trace file %d named %s vs %s", i, nameA, nameB)
+		}
+		bytesA, err := os.ReadFile(filepath.Join(dirA, nameA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesB, err := os.ReadFile(filepath.Join(dirB, nameB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bytesA) != string(bytesB) {
+			t.Errorf("%s differs between same-seed runs", nameA)
+		}
+
+		fa, err := os.Open(filesA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err := trace.Read(fa)
+		fa.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", nameA, err)
+		}
+		fb, err := os.Open(filesB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := trace.Read(fb)
+		fb.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", nameB, err)
+		}
+		if d := trace.Diff(ta, tb); d != nil {
+			t.Errorf("%s: same-seed traces diverge: %+v", nameA, d)
+		}
+	}
+}
+
+// TestTraceRetentionBounds: the EveryK sampling policy bounds capture to
+// the sampled trials only, deterministically.
+func TestTraceRetentionBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	c := newTestCapture(t, t.TempDir(), trace.Policy{EveryK: 3})
+	renderAll(t, "E1", Config{Seed: 9, Quick: true, Trials: 7, Trace: c})
+	for _, path := range c.Written() {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if tr.Header.Trial%3 != 0 {
+			t.Errorf("%s captured unsampled trial %d", filepath.Base(path), tr.Header.Trial)
+		}
+	}
+}

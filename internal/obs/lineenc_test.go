@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineEncoderShapes(t *testing.T) {
+	var b strings.Builder
+	e := NewLineEncoder(&b)
+
+	e.Begin("header")
+	e.Int("n", 64)
+	e.Uint("seed", math.MaxUint64)
+	e.Float("beta", 1.5)
+	e.Bool("solved", true)
+	e.Str("algo", `fi"xed`)
+	if err := e.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	e.Begin("classes")
+	e.Arr("sizes")
+	e.ElemInt(5)
+	e.ElemInt(3)
+	e.ArrEnd()
+	e.Arr("points")
+	e.ElemArr()
+	e.ElemFloat(0.5)
+	e.ElemFloat(-2)
+	e.ArrEnd()
+	e.ArrEnd()
+	if err := e.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	want0 := `{"event":"header","n":64,"seed":18446744073709551615,"beta":1.5,"solved":true,"algo":"fi\"xed"}`
+	if lines[0] != want0 {
+		t.Errorf("line 0 = %s, want %s", lines[0], want0)
+	}
+	want1 := `{"event":"classes","sizes":[5,3],"points":[[0.5,-2]]}`
+	if lines[1] != want1 {
+		t.Errorf("line 1 = %s, want %s", lines[1], want1)
+	}
+	// Every line must be valid JSON.
+	for i, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Errorf("line %d is not valid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestLineEncoderNonFiniteFloats(t *testing.T) {
+	var b strings.Builder
+	e := NewLineEncoder(&b)
+	e.Begin("x")
+	e.Float("nan", math.NaN())
+	e.Float("inf", math.Inf(1))
+	if err := e.End(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(b.String())
+	want := `{"event":"x","nan":null,"inf":null}`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errLineWrite }
+
+var errLineWrite = errors.New("line write failed")
+
+func TestLineEncoderStickyError(t *testing.T) {
+	e := NewLineEncoder(failingWriter{})
+	e.Begin("a")
+	if err := e.End(); !errors.Is(err, errLineWrite) {
+		t.Fatalf("End err = %v", err)
+	}
+	e.Begin("b")
+	if err := e.End(); !errors.Is(err, errLineWrite) {
+		t.Fatalf("second End err = %v", err)
+	}
+	if err := e.Err(); !errors.Is(err, errLineWrite) {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestLineEncoderSteadyStateAllocs(t *testing.T) {
+	var b strings.Builder
+	e := NewLineEncoder(&b)
+	emit := func() {
+		e.Begin("recv")
+		e.Int("round", 12)
+		e.Int("node", 7)
+		e.Int("from", 3)
+		e.Float("sinr", 2.25)
+		_ = e.End()
+	}
+	emit() // warm the buffer
+	b.Reset()
+	if allocs := testing.AllocsPerRun(100, func() { b.Reset(); emit() }); allocs > 1 {
+		// strings.Builder.Write copies into its own buffer (one possible
+		// growth); the encoder itself must not allocate per line.
+		t.Errorf("steady-state line emit allocates %.1f times, want ≤ 1", allocs)
+	}
+}

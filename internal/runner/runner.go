@@ -16,6 +16,13 @@
 //   - a streaming Progress callback suitable for CLI progress lines,
 //   - an online statistics Aggregator (Welford mean/variance, min/max,
 //     unsolved count) for callers that only need summaries.
+//
+// Structured trace capture (internal/trace.Capture) composes with the
+// engine without weakening the determinism contract: a worker asks the
+// capture for a recorder by trial index (a pure sampling decision), traces
+// its own trial's channel, and commits the file before returning — so the
+// set of trace files and each file's bytes are identical at any
+// parallelism.
 package runner
 
 import (

@@ -81,6 +81,17 @@ type Tracer interface {
 	OnRound(round int, nodes []Node, tx []bool, recv []int)
 }
 
+// ResultTracer is an optional extension of Tracer: a tracer that also
+// implements it is handed the execution's final Result exactly once, after
+// the last OnRound call and before Run returns. Error returns (invalid
+// configuration, a node yielding an invalid action) do not produce a
+// result event. Structured tracing uses the hook to close every trace with
+// a result record.
+type ResultTracer interface {
+	Tracer
+	OnResult(Result)
+}
+
 // Result summarises one execution.
 type Result struct {
 	// Solved reports whether a solo broadcast occurred within the round
@@ -163,7 +174,7 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 			cfg.Tracer.OnRound(round, nodes, tx, recv)
 		}
 		if count == 1 {
-			return Result{Solved: true, Rounds: round, Winner: solo, Transmissions: transmissions}, nil
+			return finish(cfg, Result{Solved: true, Rounds: round, Winner: solo, Transmissions: transmissions}), nil
 		}
 		detect := Unknown
 		if cfg.CollisionDetection {
@@ -180,5 +191,13 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 			node.Hear(round, recv[u], detect)
 		}
 	}
-	return Result{Solved: false, Rounds: cfg.MaxRounds, Winner: -1, Transmissions: transmissions}, nil
+	return finish(cfg, Result{Solved: false, Rounds: cfg.MaxRounds, Winner: -1, Transmissions: transmissions}), nil
+}
+
+// finish hands the final result to a ResultTracer before Run returns it.
+func finish(cfg Config, res Result) Result {
+	if rt, ok := cfg.Tracer.(ResultTracer); ok {
+		rt.OnResult(res)
+	}
+	return res
 }

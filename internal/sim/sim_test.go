@@ -318,3 +318,64 @@ func TestRunDisabledMetricsStillCorrect(t *testing.T) {
 		t.Errorf("sim.runs advanced by %d with recording disabled", got)
 	}
 }
+
+// resultTracer records OnRound/OnResult invocations for the ResultTracer
+// contract tests.
+type resultTracer struct {
+	rounds  int
+	results []Result
+}
+
+func (r *resultTracer) OnRound(round int, nodes []Node, tx []bool, recv []int) { r.rounds++ }
+func (r *resultTracer) OnResult(res Result)                                    { r.results = append(r.results, res) }
+
+func TestResultTracerSolvedRun(t *testing.T) {
+	b := &scheduleBuilder{schedules: []map[int]bool{
+		{1: true, 2: true},
+		{1: true, 2: true, 3: true},
+	}}
+	rt := &resultTracer{}
+	res, err := Run(mustRadio(t, 2, false), b, 1, Config{MaxRounds: 10, Tracer: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.results) != 1 {
+		t.Fatalf("OnResult called %d times, want 1", len(rt.results))
+	}
+	if rt.results[0] != res {
+		t.Errorf("OnResult got %+v, Run returned %+v", rt.results[0], res)
+	}
+	if rt.rounds != res.Rounds {
+		t.Errorf("OnRound called %d times before OnResult, want %d", rt.rounds, res.Rounds)
+	}
+}
+
+func TestResultTracerUnsolvedRun(t *testing.T) {
+	// Both nodes always transmit: never solved within the budget.
+	b := &scheduleBuilder{schedules: []map[int]bool{
+		{1: true, 2: true, 3: true},
+		{1: true, 2: true, 3: true},
+	}}
+	rt := &resultTracer{}
+	res, err := Run(mustRadio(t, 2, false), b, 1, Config{MaxRounds: 3, Tracer: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("unexpectedly solved")
+	}
+	if len(rt.results) != 1 || rt.results[0] != res {
+		t.Fatalf("OnResult calls = %+v, want exactly the returned result", rt.results)
+	}
+}
+
+func TestResultTracerNotCalledOnError(t *testing.T) {
+	rt := &resultTracer{}
+	_, err := Run(mustRadio(t, 2, false), &scheduleBuilder{short: true}, 1, Config{MaxRounds: 3, Tracer: rt})
+	if err == nil {
+		t.Fatal("short builder accepted")
+	}
+	if len(rt.results) != 0 {
+		t.Errorf("OnResult called on an error return: %+v", rt.results)
+	}
+}

@@ -22,13 +22,14 @@ import (
 // two channels with equal seeds, deployments, and transmit histories fades
 // identically.
 type RayleighChannel struct {
-	params  Params
-	pts     []geom.Point
-	seed    uint64
-	round   uint64
-	gains   *gainCache // nil: compute attenuations on the fly
-	scratch deliverScratch
-	rng     *xrand.Reseedable // reseeded per round; avoids per-Deliver allocations
+	params   Params
+	pts      []geom.Point
+	seed     uint64
+	round    uint64
+	gains    *gainCache // nil: compute attenuations on the fly
+	scratch  deliverScratch
+	rng      *xrand.Reseedable // reseeded per round; avoids per-Deliver allocations
+	observer ReceptionObserver
 }
 
 // NewRayleigh builds a Rayleigh-faded channel over the deployment. Options
@@ -67,6 +68,10 @@ func (c *RayleighChannel) GainCacheBytes() int64 {
 	}
 	return c.gains.bytes()
 }
+
+// SetObserver installs (or, with nil, removes) the reception observer; see
+// Channel.SetObserver. Observed SINR values include the round's fades.
+func (c *RayleighChannel) SetObserver(o ReceptionObserver) { c.observer = o }
 
 // signal returns the unfaded signal strength of transmitter u at listener v,
 // from the cached gain row when available; both branches compute bit-equal
@@ -115,8 +120,11 @@ func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 				best, bestU = s, u
 			}
 		}
-		if c.params.SINR(best, total-best) >= c.params.Beta {
+		if ratio := c.params.SINR(best, total-best); ratio >= c.params.Beta {
 			recv[v] = bestU
+			if c.observer != nil {
+				c.observer.OnReception(v, bestU, ratio, ratio-c.params.Beta)
+			}
 		}
 	}
 }

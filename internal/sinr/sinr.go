@@ -117,14 +117,29 @@ func (p Params) SingleHopFeasible(maxDist, margin float64) bool {
 	return p.Power > powerCondition(p.Alpha, p.Beta, p.Noise, maxDist, margin)
 }
 
+// A ReceptionObserver sees every decoded reception at the moment the
+// delivery engine commits it: listener v decodes the message of transmitter
+// u with the achieved ratio sinr ≥ β and margin = sinr − β. Within a round,
+// observers are invoked in ascending listener order by every engine (the
+// cached, on-the-fly, and Rayleigh delivery loops all finalise listeners in
+// index order), so the call sequence is deterministic and engine-independent.
+//
+// The hook exists for tracing and never feeds back into delivery: observers
+// must not call back into the channel, and a nil observer (the default)
+// costs one pointer test per decode — the hot paths stay allocation-free.
+type ReceptionObserver interface {
+	OnReception(listener, from int, sinr, margin float64)
+}
+
 // Channel is the deterministic SINR channel over a fixed deployment. It is
 // not safe for concurrent use (it owns reusable delivery scratch buffers);
 // create one channel per goroutine.
 type Channel struct {
-	params  Params
-	pts     []geom.Point
-	gains   *gainCache // nil: compute attenuations on the fly
-	scratch deliverScratch
+	params   Params
+	pts      []geom.Point
+	gains    *gainCache // nil: compute attenuations on the fly
+	scratch  deliverScratch
+	observer ReceptionObserver
 }
 
 // New builds a channel for the given parameters and node positions. It
@@ -164,6 +179,11 @@ func (c *Channel) GainCacheBytes() int64 {
 	}
 	return c.gains.bytes()
 }
+
+// SetObserver installs (or, with nil, removes) the reception observer.
+// Observation never changes delivery results — the engine computes the
+// identical float sequence with or without an observer.
+func (c *Channel) SetObserver(o ReceptionObserver) { c.observer = o }
 
 // signal returns the received signal strength of transmitter u at listener
 // v, from the cached gain row when available. Both branches evaluate the
@@ -212,8 +232,11 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 			}
 		}
 		// Interference for the strongest candidate excludes its own signal.
-		if c.params.SINR(best, total-best) >= c.params.Beta {
+		if ratio := c.params.SINR(best, total-best); ratio >= c.params.Beta {
 			recv[v] = bestU
+			if c.observer != nil {
+				c.observer.OnReception(v, bestU, ratio, ratio-c.params.Beta)
+			}
 		}
 	}
 }
@@ -257,8 +280,11 @@ func (c *Channel) deliverCached(txList []int, tx []bool, recv []int) {
 			continue
 		}
 		// Interference for the strongest candidate excludes its own signal.
-		if c.params.SINR(best[v], totals[v]-best[v]) >= c.params.Beta {
+		if ratio := c.params.SINR(best[v], totals[v]-best[v]); ratio >= c.params.Beta {
 			recv[v] = bestU[v]
+			if c.observer != nil {
+				c.observer.OnReception(v, bestU[v], ratio, ratio-c.params.Beta)
+			}
 		}
 	}
 }

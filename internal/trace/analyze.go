@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary aggregates one or more traces for reporting: the outcome mix, the
+// round-of-success distribution, the contention curve (mean transmitters per
+// round across traces still running at that round), and per-node transmit
+// counts (the paper's energy metric).
+type Summary struct {
+	// Traces is the number of traces aggregated.
+	Traces int
+	// Solved and Unsolved partition the traces by outcome; traces without a
+	// result record count as Unsolved.
+	Solved, Unsolved int
+	// Rounds is the per-trace round-of-success (or round budget when
+	// unsolved), in input order.
+	Rounds []int
+	// Transmissions is the per-trace total transmission count, in input
+	// order (−1 when the trace has no result record).
+	Transmissions []int64
+	// MeanTx[r] is the mean number of transmitters in round r+1, averaged
+	// over the traces that executed that round — the contention curve.
+	MeanTx []float64
+	// Running[r] is the number of traces that executed round r+1.
+	Running []int
+	// NodeTx[v] is node v's total transmit count summed across traces; nil
+	// when no trace carries per-node records.
+	NodeTx []int64
+}
+
+// Summarize aggregates the traces. Traces may mix formats and deployments;
+// per-node aggregation sizes itself to the largest node index seen.
+func Summarize(traces []*Trace) Summary {
+	var s Summary
+	s.Traces = len(traces)
+	for _, t := range traces {
+		rounds, transmissions := 0, int64(-1)
+		solved := false
+		for _, rec := range t.Records {
+			switch rec.Kind {
+			case KindRound:
+				r := int(rec.Round)
+				if r > rounds {
+					rounds = r
+				}
+				for len(s.MeanTx) < r {
+					s.MeanTx = append(s.MeanTx, 0)
+					s.Running = append(s.Running, 0)
+				}
+				s.MeanTx[r-1] += float64(rec.Tx)
+				s.Running[r-1]++
+			case KindTransmit:
+				v := int(rec.Node)
+				for len(s.NodeTx) <= v {
+					s.NodeTx = append(s.NodeTx, 0)
+				}
+				s.NodeTx[v]++
+			case KindResult:
+				solved = rec.Solved
+				rounds = int(rec.Round)
+				transmissions = rec.Transmissions
+			}
+		}
+		if solved {
+			s.Solved++
+		} else {
+			s.Unsolved++
+		}
+		s.Rounds = append(s.Rounds, rounds)
+		s.Transmissions = append(s.Transmissions, transmissions)
+	}
+	for i, n := range s.Running {
+		if n > 0 {
+			s.MeanTx[i] /= float64(n)
+		}
+	}
+	return s
+}
+
+// Divergence locates the first difference between two traces: in the header
+// (Index −1) or at a record index. Field names the differing field.
+type Divergence struct {
+	// Index is the position of the first divergent record, −1 for a header
+	// divergence, or min(len(a), len(b)) when one trace is a prefix of the
+	// other (Field "length").
+	Index int
+	// Field names what differs ("seed", "kind", "sinr", "length", ...).
+	Field string
+	// A and B render the differing values.
+	A, B string
+}
+
+// Diff compares two traces record by record and returns the first
+// divergence, or nil when the traces are identical. Floats compare by bit
+// pattern, so an absent SINR annotation (NaN) equals itself and a diff of
+// two same-seed runs is exact rather than tolerance-based — this is the
+// determinism contract made testable.
+func Diff(a, b *Trace) *Divergence {
+	if d := diffHeader(&a.Header, &b.Header); d != nil {
+		return d
+	}
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := a.Records[i], b.Records[i]
+		if d := diffRecord(a, b, ra, rb); d != nil {
+			d.Index = i
+			return d
+		}
+	}
+	if len(a.Records) != len(b.Records) {
+		return &Divergence{
+			Index: n,
+			Field: "length",
+			A:     fmt.Sprintf("%d records", len(a.Records)),
+			B:     fmt.Sprintf("%d records", len(b.Records)),
+		}
+	}
+	return nil
+}
+
+func diffHeader(a, b *Header) *Divergence {
+	hd := func(field, av, bv string) *Divergence {
+		return &Divergence{Index: -1, Field: field, A: av, B: bv}
+	}
+	switch {
+	case a.Schema != b.Schema:
+		return hd("schema", fmt.Sprint(a.Schema), fmt.Sprint(b.Schema))
+	case a.N != b.N:
+		return hd("n", fmt.Sprint(a.N), fmt.Sprint(b.N))
+	case a.Seed != b.Seed:
+		return hd("seed", fmt.Sprintf("%#x", a.Seed), fmt.Sprintf("%#x", b.Seed))
+	case a.DeploySeed != b.DeploySeed:
+		return hd("deploy_seed", fmt.Sprintf("%#x", a.DeploySeed), fmt.Sprintf("%#x", b.DeploySeed))
+	case a.Algo != b.Algo:
+		return hd("algo", a.Algo, b.Algo)
+	case a.Channel != b.Channel:
+		return hd("channel", a.Channel, b.Channel)
+	case a.MaxRounds != b.MaxRounds:
+		return hd("max_rounds", fmt.Sprint(a.MaxRounds), fmt.Sprint(b.MaxRounds))
+	case len(a.Points) != len(b.Points):
+		return hd("points", fmt.Sprintf("%d points", len(a.Points)), fmt.Sprintf("%d points", len(b.Points)))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		if math.Float64bits(pa.X) != math.Float64bits(pb.X) || math.Float64bits(pa.Y) != math.Float64bits(pb.Y) {
+			return hd(fmt.Sprintf("points[%d]", i),
+				fmt.Sprintf("(%g, %g)", pa.X, pa.Y), fmt.Sprintf("(%g, %g)", pb.X, pb.Y))
+		}
+	}
+	return nil
+}
+
+func diffRecord(ta, tb *Trace, ra, rb Record) *Divergence {
+	d := func(field, av, bv string) *Divergence {
+		return &Divergence{Field: field, A: av, B: bv}
+	}
+	if ra.Kind != rb.Kind {
+		return d("kind", ra.Kind.String(), rb.Kind.String())
+	}
+	if ra.Round != rb.Round {
+		return d("round", fmt.Sprint(ra.Round), fmt.Sprint(rb.Round))
+	}
+	switch ra.Kind {
+	case KindRound:
+		switch {
+		case ra.Active != rb.Active:
+			return d("active", fmt.Sprint(ra.Active), fmt.Sprint(rb.Active))
+		case ra.Tx != rb.Tx:
+			return d("tx", fmt.Sprint(ra.Tx), fmt.Sprint(rb.Tx))
+		case ra.Recv != rb.Recv:
+			return d("recv", fmt.Sprint(ra.Recv), fmt.Sprint(rb.Recv))
+		}
+	case KindTransmit, KindKnockout:
+		if ra.Node != rb.Node {
+			return d("node", fmt.Sprint(ra.Node), fmt.Sprint(rb.Node))
+		}
+	case KindReception:
+		switch {
+		case ra.Node != rb.Node:
+			return d("node", fmt.Sprint(ra.Node), fmt.Sprint(rb.Node))
+		case ra.From != rb.From:
+			return d("from", fmt.Sprint(ra.From), fmt.Sprint(rb.From))
+		case math.Float64bits(ra.SINR) != math.Float64bits(rb.SINR):
+			return d("sinr", fmt.Sprint(ra.SINR), fmt.Sprint(rb.SINR))
+		case math.Float64bits(ra.Margin) != math.Float64bits(rb.Margin):
+			return d("margin", fmt.Sprint(ra.Margin), fmt.Sprint(rb.Margin))
+		}
+	case KindClasses:
+		sa, sb := ta.ClassSizes(ra), tb.ClassSizes(rb)
+		if len(sa) != len(sb) {
+			return d("sizes", fmt.Sprintf("%d classes", len(sa)), fmt.Sprintf("%d classes", len(sb)))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return d(fmt.Sprintf("sizes[%d]", i), fmt.Sprint(sa[i]), fmt.Sprint(sb[i]))
+			}
+		}
+	case KindResult:
+		switch {
+		case ra.Solved != rb.Solved:
+			return d("solved", fmt.Sprint(ra.Solved), fmt.Sprint(rb.Solved))
+		case ra.Node != rb.Node:
+			return d("winner", fmt.Sprint(ra.Node), fmt.Sprint(rb.Node))
+		case ra.Transmissions != rb.Transmissions:
+			return d("transmissions", fmt.Sprint(ra.Transmissions), fmt.Sprint(rb.Transmissions))
+		}
+	}
+	return nil
+}

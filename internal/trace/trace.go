@@ -1,18 +1,40 @@
-// Package trace records per-round execution events and serialises analysis
-// data to CSV for offline inspection.
+// Package trace is the structured run-tracing layer of the repository: it
+// captures per-round, per-node execution events — round boundaries,
+// transmit decisions, receptions annotated with the winning SINR value and
+// margin, knockouts, link-class censuses — into a deterministic,
+// schema-versioned event stream, and serialises it as NDJSON (one JSON
+// object per line, internal/obs sink conventions) or a compact binary
+// format for large runs. cmd/crtrace consumes the files.
+//
+// Tracing is strictly observational: a traced execution computes the exact
+// float and rng sequences of an untraced one, so results are byte-identical
+// with tracing on or off (TestTraceInvariance), and two same-seed traced
+// runs produce byte-identical trace files (the determinism contract, made
+// testable by Diff / `crtrace diff`).
+//
+// For Monte Carlo runs the Capture type composes with internal/runner:
+// bounded retention policies (trace every Kth trial, keep failures only)
+// and recorder recycling via Reset make tracing 10⁴ trials safe by
+// construction. The package also retains the legacy per-round aggregate
+// view (Event, WriteCSV, WriteSnapshotsCSV) used by crsim's -trace/-csv
+// flags.
 package trace
 
 import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"fadingcr/internal/core"
+	"fadingcr/internal/geom"
 	"fadingcr/internal/sim"
+	"fadingcr/internal/sinr"
 )
 
-// Event is the per-round record captured by Recorder.
+// Event is the per-round aggregate record captured by Recorder (the legacy
+// flat view; structured consumers use Records).
 type Event struct {
 	// Round is the 1-based round index.
 	Round int
@@ -26,12 +48,114 @@ type Event struct {
 	Active int
 }
 
-// Recorder is a lightweight sim.Tracer capturing one Event per round.
+// Recorder is a sim.Tracer capturing one aggregate Event per round and,
+// when PerNode or Classes is set, the structured per-node record stream.
+// It also implements sinr.ReceptionObserver (attach it to a channel with
+// Attach to annotate receptions with their SINR values) and
+// sim.ResultTracer (the engine closes the trace with a result record).
+//
+// A Recorder is single-run, single-goroutine state; Reset recycles it —
+// buffers included — for the next trial.
 type Recorder struct {
+	// Events are the per-round aggregates.
 	Events []Event
+	// Header is the trace identity written ahead of the records; the caller
+	// populates it before serialising.
+	Header Header
+	// PerNode enables structured capture of per-node transmit, reception,
+	// and knockout records (plus round boundaries and the result).
+	PerNode bool
+	// Classes additionally records the link-class census of every round.
+	// It requires Header.Points to cover the deployment (and costs a
+	// ComputeLinkClasses pass per round, allocating; leave it off for
+	// allocation-sensitive captures).
+	Classes bool
+
+	recs       []Record
+	classSizes []int32
+	active     []bool // per-round activeness scratch
+	haveActive bool
+
+	// Pending receptions observed during the round's Deliver, joined with
+	// recv in OnRound. Engines invoke observers in ascending listener
+	// order, so the join is a single merge pass.
+	pendNode   []int32
+	pendFrom   []int32
+	pendSINR   []float64
+	pendMargin []float64
 }
 
-var _ sim.Tracer = (*Recorder)(nil)
+var (
+	_ sim.Tracer             = (*Recorder)(nil)
+	_ sim.ResultTracer       = (*Recorder)(nil)
+	_ sinr.ReceptionObserver = (*Recorder)(nil)
+)
+
+// observable is the observer surface of the SINR channels.
+type observable interface {
+	SetObserver(sinr.ReceptionObserver)
+}
+
+// Attach installs the recorder as ch's reception observer when the channel
+// supports it and per-node capture is on; receptions then carry their SINR
+// values and margins. Channels without the hook (the radio channels) are
+// left untouched and receptions record NaN.
+func Attach(rec *Recorder, ch sim.Channel) {
+	if !rec.PerNode {
+		return
+	}
+	if o, ok := ch.(observable); ok {
+		o.SetObserver(rec)
+	}
+}
+
+// Detach removes the recorder (or any observer) from ch.
+func Detach(ch sim.Channel) {
+	if o, ok := ch.(observable); ok {
+		o.SetObserver(nil)
+	}
+}
+
+// Reset clears the recorder for reuse, retaining every buffer's capacity so
+// steady-state per-trial capture performs no per-round allocations (the
+// AllocsPerRun regression in trace_test.go). Configuration (Header,
+// PerNode, Classes) is left untouched; callers overwrite the header per
+// trial.
+func (r *Recorder) Reset() {
+	r.Events = r.Events[:0]
+	r.recs = r.recs[:0]
+	r.classSizes = r.classSizes[:0]
+	r.active = r.active[:0]
+	r.haveActive = false
+	r.clearPending()
+}
+
+func (r *Recorder) clearPending() {
+	r.pendNode = r.pendNode[:0]
+	r.pendFrom = r.pendFrom[:0]
+	r.pendSINR = r.pendSINR[:0]
+	r.pendMargin = r.pendMargin[:0]
+}
+
+// Records returns the structured record stream captured so far.
+func (r *Recorder) Records() []Record { return r.recs }
+
+// ClassSizes resolves a KindClasses record's census; nil for other kinds.
+func (r *Recorder) ClassSizes(rec Record) []int32 {
+	if rec.Kind != KindClasses {
+		return nil
+	}
+	return r.classSizes[rec.Off : rec.Off+rec.Len]
+}
+
+// OnReception implements sinr.ReceptionObserver: it buffers the reception's
+// SINR annotation until OnRound joins it with the round's recv vector.
+func (r *Recorder) OnReception(listener, from int, sinrVal, margin float64) {
+	r.pendNode = append(r.pendNode, int32(listener))
+	r.pendFrom = append(r.pendFrom, int32(from))
+	r.pendSINR = append(r.pendSINR, sinrVal)
+	r.pendMargin = append(r.pendMargin, margin)
+}
 
 // OnRound implements sim.Tracer.
 func (r *Recorder) OnRound(round int, nodes []sim.Node, tx []bool, recv []int) {
@@ -46,33 +170,124 @@ func (r *Recorder) OnRound(round int, nodes []sim.Node, tx []bool, recv []int) {
 			e.Receptions++
 		}
 	}
-	active, any := 0, false
-	for _, node := range nodes {
+	if cap(r.active) < len(nodes) {
+		r.active = make([]bool, len(nodes))
+	}
+	r.active = r.active[:len(nodes)]
+	r.haveActive = false
+	activeCount := 0
+	for i, node := range nodes {
+		r.active[i] = false
 		if a, ok := node.(core.Activeness); ok {
-			any = true
+			r.haveActive = true
 			if a.Active() {
-				active++
+				r.active[i] = true
+				activeCount++
 			}
 		}
 	}
-	if any {
-		e.Active = active
+	if r.haveActive {
+		e.Active = activeCount
 	}
 	r.Events = append(r.Events, e)
+
+	if r.PerNode || r.Classes {
+		r.appendStructured(round, e, tx, recv)
+	}
+	r.clearPending()
 }
 
-// WriteCSV writes the recorded events as CSV with a header row.
+// appendStructured emits the round's structured records: the boundary, then
+// per-node transmits, receptions (joined with the pending SINR
+// annotations), knockouts, and the link-class census — each in ascending
+// node order, so the stream is a deterministic function of the execution.
+func (r *Recorder) appendStructured(round int, e Event, tx []bool, recv []int) {
+	rnd := int32(round)
+	r.recs = append(r.recs, Record{
+		Kind:   KindRound,
+		Round:  rnd,
+		Active: int32(e.Active),
+		Tx:     int32(e.Transmitters),
+		Recv:   int32(e.Receptions),
+	})
+	if r.PerNode {
+		for u, t := range tx {
+			if t {
+				r.recs = append(r.recs, Record{Kind: KindTransmit, Round: rnd, Node: int32(u)})
+			}
+		}
+		pi := 0
+		for v, from := range recv {
+			if from < 0 {
+				continue
+			}
+			rec := Record{
+				Kind:   KindReception,
+				Round:  rnd,
+				Node:   int32(v),
+				From:   int32(from),
+				SINR:   math.NaN(),
+				Margin: math.NaN(),
+			}
+			if pi < len(r.pendNode) && r.pendNode[pi] == int32(v) {
+				rec.SINR = r.pendSINR[pi]
+				rec.Margin = r.pendMargin[pi]
+				pi++
+			}
+			r.recs = append(r.recs, rec)
+		}
+		if r.haveActive {
+			for v, from := range recv {
+				if from >= 0 && r.active[v] {
+					r.recs = append(r.recs, Record{Kind: KindKnockout, Round: rnd, Node: int32(v)})
+				}
+			}
+		}
+	}
+	if r.Classes && len(r.Header.Points) == len(recv) && r.haveActive {
+		lc := geom.ComputeLinkClasses(r.Header.Points, r.active)
+		off := int32(len(r.classSizes))
+		for _, s := range lc.Sizes {
+			r.classSizes = append(r.classSizes, int32(s))
+		}
+		r.recs = append(r.recs, Record{Kind: KindClasses, Round: rnd, Off: off, Len: int32(len(lc.Sizes))})
+	}
+}
+
+// OnResult implements sim.ResultTracer: it closes the structured stream
+// with the execution's outcome.
+func (r *Recorder) OnResult(res sim.Result) {
+	if !r.PerNode && !r.Classes {
+		return
+	}
+	r.recs = append(r.recs, Record{
+		Kind:          KindResult,
+		Round:         int32(res.Rounds),
+		Node:          int32(res.Winner),
+		Solved:        res.Solved,
+		Transmissions: res.Transmissions,
+	})
+}
+
+// WriteCSV writes the recorded aggregate events as CSV with a header row.
+// The active column is empty for protocols whose nodes do not expose
+// activity (the internal −1 sentinel never reaches the file, matching the
+// empty-field convention of WriteSnapshotsCSV's good column).
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"round", "transmitters", "receptions", "active"}); err != nil {
 		return fmt.Errorf("trace: write header: %w", err)
 	}
 	for _, e := range r.Events {
+		active := ""
+		if e.Active >= 0 {
+			active = strconv.Itoa(e.Active)
+		}
 		row := []string{
 			strconv.Itoa(e.Round),
 			strconv.Itoa(e.Transmitters),
 			strconv.Itoa(e.Receptions),
-			strconv.Itoa(e.Active),
+			active,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: write row: %w", err)

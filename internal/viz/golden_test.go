@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"testing"
+
+	"fadingcr/internal/geom"
+)
+
+// Golden renderings: the exact character output of each renderer is part of
+// its contract (CLIs pipe it into logs and CI artifacts diff it), so these
+// tests pin full frames, not substrings.
+
+func TestScatterGolden(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0},    // bottom-left, active
+		{X: 4, Y: 0},    // bottom-right, inactive
+		{X: 0, Y: 2},    // top-left, active
+		{X: 2, Y: 1},    // centre, three co-located nodes
+		{X: 2.01, Y: 1}, // |
+		{X: 2.02, Y: 1}, // |
+		{X: 4, Y: 2},    // top-right, inactive
+	}
+	active := []bool{true, false, true, true, true, true, false}
+	got := Scatter(pts, active, 5, 3)
+	want := "" +
+		"●   ·\n" +
+		"  3  \n" +
+		"●   ·\n"
+	if got != want {
+		t.Errorf("Scatter golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestScatterZeroSpanGolden(t *testing.T) {
+	// All nodes share one x: the span collapses and everything lands in the
+	// left column, top row last (y axis points up).
+	pts := []geom.Point{{X: 5, Y: 0}, {X: 5, Y: 1}}
+	got := Scatter(pts, []bool{true, false}, 3, 2)
+	want := "" +
+		"·  \n" +
+		"●  \n"
+	if got != want {
+		t.Errorf("Scatter zero-span golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	// A single point (both spans zero) renders in the bottom-left cell.
+	got = Scatter([]geom.Point{{X: 3, Y: 7}}, nil, 3, 2)
+	want = "" +
+		"   \n" +
+		"●  \n"
+	if got != want {
+		t.Errorf("Scatter single-point golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestBarsGolden(t *testing.T) {
+	got := Bars([]string{"fixed", "sweep", "decay"}, []int{4, 8, 1}, 8)
+	want := "" +
+		"fixed |████ 4\n" +
+		"sweep |████████ 8\n" +
+		"decay |█ 1\n"
+	if got != want {
+		t.Errorf("Bars golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestBarsZeroValueGolden(t *testing.T) {
+	got := Bars([]string{"a", "b"}, []int{0, 2}, 4)
+	want := "" +
+		"a | 0\n" +
+		"b |████ 2\n"
+	if got != want {
+		t.Errorf("Bars zero-value golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestSparklineGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []int
+		want   string
+	}{
+		{"ramp", []int{0, 1, 2, 3, 4, 5, 6, 7}, "▁▂▃▄▅▆▇█"},
+		{"contention decay", []int{100, 51, 26, 12, 6, 3, 1, 0}, "█▄▂▁▁▁▁▁"},
+		{"negative and positive", []int{-2, 0, 2}, "▁▄█"},
+		{"two levels", []int{1, 9, 1, 9}, "▁█▁█"},
+		{"single value", []int{42}, "▁"},
+	}
+	for _, c := range cases {
+		if got := Sparkline(c.values); got != c.want {
+			t.Errorf("%s: Sparkline(%v) = %q, want %q", c.name, c.values, got, c.want)
+		}
+	}
+}
