@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short vet lint bench results obs-smoke trace-smoke clean
+.PHONY: all build test test-short vet lint bench results obs-smoke trace-smoke serve-smoke clean
 
 all: build vet lint test
 
@@ -60,6 +60,12 @@ trace-smoke:
 	go run ./cmd/crtrace summary bin/traces/*.ndjson
 	@if command -v jq >/dev/null 2>&1; then jq -ce . bin/trace-a.ndjson > /dev/null && echo "trace NDJSON valid"; \
 	else echo "jq not installed, skipping NDJSON validation"; fi
+
+# Mirror of CI's serve-smoke job: boot the crserve daemon, run the whole
+# client workflow over HTTP (submit → stream → result), prove the cache hit
+# serves bytes identical to the cold run, and drain gracefully on SIGTERM.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 clean:
 	go clean ./...

@@ -20,7 +20,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"fadingcr/internal/cli"
@@ -66,10 +65,19 @@ func run(args []string, stdout io.Writer) (err error) {
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
-	if _, err := sinr.GainCacheOptions(*gaincache); err != nil {
-		return err
+	// One shared parsing/validation path with crserve: the spec resolves
+	// ids, the gain-cache mode, and the trial count in one place.
+	selected, cfg, err := experiments.ConfigFromSpec(experiments.Spec{
+		IDs:       *ids,
+		Seed:      *seed,
+		Trials:    *trials,
+		Quick:     *quick,
+		GainCache: *gaincache,
+	})
+	if err != nil {
+		return cli.Usage(err)
 	}
 	finish, err := obsFlags.Start("crbench")
 	if err != nil {
@@ -81,27 +89,13 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}()
 	if *format != "text" && *format != "markdown" {
-		return fmt.Errorf("unknown format %q", *format)
+		return cli.Usagef("unknown format %q", *format)
 	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
 		return nil
-	}
-
-	var selected []experiments.Experiment
-	if *ids == "all" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*ids, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(id)
-			if !ok {
-				return fmt.Errorf("unknown experiment id %q", id)
-			}
-			selected = append(selected, e)
-		}
 	}
 
 	w := stdout
@@ -125,11 +119,12 @@ func run(args []string, stdout io.Writer) (err error) {
 		effective = runtime.GOMAXPROCS(0)
 	}
 
-	cfg := experiments.Config{Seed: *seed, Trials: *trials, Quick: *quick, Parallelism: *parallel, Context: ctx, GainCache: *gaincache}
+	cfg.Parallelism = *parallel
+	cfg.Context = ctx
 	if *traceDir != "" {
 		traceFormat, err := trace.ParseFormat(*traceFmt)
 		if err != nil {
-			return err
+			return cli.Usage(err)
 		}
 		cfg.Trace, err = trace.NewCapture("crbench", trace.Policy{
 			Dir:          *traceDir,

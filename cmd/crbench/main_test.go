@@ -86,8 +86,9 @@ func TestRunList(t *testing.T) {
 }
 
 func TestMainExitCodes(t *testing.T) {
-	// -h used to funnel into the generic failure path and exit 1; asking
-	// for usage must exit 0.
+	// The shared convention (internal/cli): 0 for -h/-help and success,
+	// 2 for misuse (unknown flags or invalid flag values), 1 for runtime
+	// failures.
 	cases := []struct {
 		name string
 		args []string
@@ -96,8 +97,10 @@ func TestMainExitCodes(t *testing.T) {
 		{"help short", []string{"-h"}, 0},
 		{"help long", []string{"-help"}, 0},
 		{"success", []string{"-list"}, 0},
-		{"bad flag", []string{"-definitely-not-a-flag"}, 1},
-		{"bad id", []string{"-ids", "E999"}, 1},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad id", []string{"-ids", "E999"}, 2},
+		{"bad format", []string{"-format", "pdf"}, 2},
+		{"negative trials", []string{"-ids", "E5", "-trials", "-3"}, 2},
 	}
 	for _, tc := range cases {
 		if got := mainExitCode(tc.args); got != tc.want {

@@ -115,7 +115,12 @@ func run(args []string) (err error) {
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
+	}
+	switch *player {
+	case "half", "density", "cr-fixed", "cr-sweep":
+	default:
+		return cli.Usagef("unknown player %q (want half|density|cr-fixed|cr-sweep)", *player)
 	}
 	finish, err := obsFlags.Start("crhitting")
 	if err != nil {

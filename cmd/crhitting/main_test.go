@@ -40,8 +40,9 @@ func TestRunAdversaryMode(t *testing.T) {
 }
 
 func TestMainExitCodes(t *testing.T) {
-	// -h used to funnel into the generic failure path and exit 1; asking
-	// for usage must exit 0.
+	// The shared convention (internal/cli): 0 for -h/-help and success,
+	// 2 for misuse (unknown flags or invalid flag values), 1 for runtime
+	// failures.
 	cases := []struct {
 		name string
 		args []string
@@ -50,8 +51,8 @@ func TestMainExitCodes(t *testing.T) {
 		{"help short", []string{"-h"}, 0},
 		{"help long", []string{"-help"}, 0},
 		{"success", []string{"-k", "16", "-trials", "5"}, 0},
-		{"bad flag", []string{"-definitely-not-a-flag"}, 1},
-		{"bad player", []string{"-player", "nope", "-trials", "2"}, 1},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad player", []string{"-player", "nope", "-trials", "2"}, 2},
 	}
 	for _, tc := range cases {
 		if got := mainExitCode(tc.args); got != tc.want {

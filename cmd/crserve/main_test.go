@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMainExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help long", []string{"-help"}, 0},
+		{"help short", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad flag value", []string{"-workers", "banana"}, 2},
+		{"zero workers", []string{"-workers", "0"}, 2},
+		{"zero queue", []string{"-queue-depth", "0"}, 2},
+		{"zero job-parallel", []string{"-job-parallel", "0"}, 2},
+		{"zero drain-timeout", []string{"-drain-timeout", "0s"}, 2},
+		{"unlistenable addr", []string{"-addr", "256.256.256.256:1"}, 1},
+	}
+	for _, tc := range cases {
+		if got := mainExitCode(tc.args, nil, nil); got != tc.want {
+			t.Errorf("%s: exit %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDaemonRoundTrip boots the real daemon on an ephemeral port, runs the
+// whole client workflow over TCP, then drains it via the shutdown hook —
+// the same path a signal takes.
+func TestDaemonRoundTrip(t *testing.T) {
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() {
+		exit <- mainExitCode([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, ready, shutdown)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exit:
+		t.Fatalf("daemon exited %d before serving", code)
+	}
+
+	spec := `{"sim":{"n":16,"deploy":"disk","algo":"fixed"},"seed":5,"trials":3}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: HTTP %d %+v", resp.StatusCode, st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var body []byte
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err = io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: HTTP %d %s", r.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Contains(body, []byte(`"kind": "sim"`)) {
+		t.Errorf("result body unexpected:\n%s", body)
+	}
+
+	close(shutdown)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("daemon exited %d after graceful drain, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after shutdown")
+	}
+}

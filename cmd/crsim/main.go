@@ -5,23 +5,24 @@
 //
 //	crsim -n 256 -deploy disk -algo fixed -channel sinr -seed 1 -trace
 //
-// Deployments: disk, square, grid, clusters, chain, pairs.
-// Algorithms:  fixed, sweep, decay, backoff, dampened, cdhalving, estimate.
-// Channels:    sinr, rayleigh, radio, radio-cd.
+// Deployments, algorithms, and channels are resolved by name against
+// internal/catalog — the same registry crserve job specs validate against:
+//
+//	Deployments: disk, square, grid, clusters, chain, pairs.
+//	Algorithms:  fixed, sweep, decay, backoff, dampened, cdhalving, estimate.
+//	Channels:    sinr, rayleigh, radio, radio-cd.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"fadingcr/internal/baselines"
+	"fadingcr/internal/catalog"
 	"fadingcr/internal/cli"
 	"fadingcr/internal/core"
 	"fadingcr/internal/geom"
 	"fadingcr/internal/obs"
-	"fadingcr/internal/radio"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
 	"fadingcr/internal/stats"
@@ -73,15 +74,15 @@ func run(args []string) (err error) {
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
 	if err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	traceFormat, err := trace.ParseFormat(*traceFmt)
 	if err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	finish, err := obsFlags.Start("crsim")
 	if err != nil {
@@ -110,50 +111,30 @@ func run(args []string) (err error) {
 		}
 		*deploy = *deployFile
 	} else {
-		d, err = makeDeployment(*deploy, *seed, *n)
+		d, err = catalog.Deployment(*deploy, *seed, *n)
 		if err != nil {
-			return err
+			return cli.Usage(err)
 		}
 	}
-	builder, err := makeBuilder(*algo, *p, d.N())
+	builder, err := catalog.Builder(*algo, *p, d.N())
 	if err != nil {
-		return err
+		return cli.Usage(err)
 	}
 
 	params := sinr.Params{Alpha: *alpha, Beta: *beta, Noise: *noise}
 	params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise, d.R, sinr.DefaultSingleHopMargin)
 
-	var ch sim.Channel
-	cacheBytes := int64(-1) // -1: channel has no gain cache (radio)
-	cfg := sim.Config{}
-	switch *channel {
-	case "sinr":
-		var sc *sinr.Channel
-		if sc, err = sinr.New(params, d.Points, sinrOpts...); err == nil {
-			cacheBytes = sc.GainCacheBytes()
-		}
-		ch = sc
-	case "rayleigh":
-		var rc *sinr.RayleighChannel
-		if rc, err = sinr.NewRayleigh(params, d.Points, *seed+1, sinrOpts...); err == nil {
-			cacheBytes = rc.GainCacheBytes()
-		}
-		ch = rc
-	case "radio":
-		ch, err = radio.New(d.N(), false)
-	case "radio-cd":
-		ch, err = radio.New(d.N(), true)
-		cfg.CollisionDetection = true
-	default:
-		return fmt.Errorf("unknown channel %q", *channel)
-	}
+	built, err := catalog.Channel(*channel, params, d, *seed+1, sinrOpts...)
 	if err != nil {
-		return err
+		return cli.Usage(err)
 	}
+	ch := built.Channel
+	cacheBytes := built.GainCacheBytes
+	cfg := sim.Config{CollisionDetection: built.CollisionDetection}
 
 	cfg.MaxRounds = *maxRounds
 	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 2000 + 200*int(math.Ceil(math.Log2(float64(d.N())+1)))
+		cfg.MaxRounds = catalog.DefaultMaxRounds(d.N())
 	}
 	// hdr is the trace identity template for structured capture; per-run
 	// code fills in Trial and the protocol seed.
@@ -324,62 +305,4 @@ func runTrials(ch sim.Channel, builder sim.Builder, seed uint64, cfg sim.Config,
 			len(capture.Written()), capture.Policy().Dir, capture.Dropped())
 	}
 	return nil
-}
-
-func makeDeployment(kind string, seed uint64, n int) (*geom.Deployment, error) {
-	switch kind {
-	case "disk":
-		return geom.UniformDisk(seed, n)
-	case "square":
-		return geom.UniformSquare(seed, n)
-	case "grid":
-		return geom.PerturbedGrid(seed, n, 0.25)
-	case "clusters":
-		k := int(math.Max(1, math.Sqrt(float64(n))/2))
-		return geom.Clusters(seed, n, k, 2, 20*math.Sqrt(float64(n)))
-	case "chain":
-		classes := int(math.Max(1, math.Round(math.Log2(float64(n)))))
-		pairs := n / (2 * classes)
-		if pairs < 1 {
-			pairs = 1
-		}
-		return geom.ExponentialChain(seed, classes, pairs)
-	case "pairs":
-		if n%2 != 0 {
-			n++
-		}
-		return geom.CoLocatedPairs(n, 100)
-	default:
-		return nil, fmt.Errorf("unknown deployment %q", kind)
-	}
-}
-
-func makeBuilder(algo string, p float64, n int) (sim.Builder, error) {
-	switch algo {
-	case "fixed":
-		return core.FixedProbability{P: p}, nil
-	case "sweep":
-		return baselines.ProbabilitySweep{}, nil
-	case "decay":
-		return baselines.Decay{N: n}, nil
-	case "backoff":
-		return baselines.BinaryExponentialBackoff{}, nil
-	case "dampened":
-		if n < 4 {
-			n = 4
-		}
-		return baselines.DampenedSweep{N: n}, nil
-	case "cdhalving":
-		return baselines.CollisionDetectHalving{}, nil
-	case "estimate":
-		return baselines.CDBinaryEstimate{}, nil
-	case "interleaved":
-		return core.Interleaved{A: core.FixedProbability{}, B: baselines.ProbabilitySweep{}}, nil
-	case "knockout-sweep":
-		return core.WithKnockout{Inner: baselines.ProbabilitySweep{}}, nil
-	case "staggered":
-		return core.StaggeredStart{Inner: core.FixedProbability{P: p}, MaxDelay: 32}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
 }

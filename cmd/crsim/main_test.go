@@ -116,8 +116,9 @@ func TestRunRadioCDChannel(t *testing.T) {
 }
 
 func TestMainExitCodes(t *testing.T) {
-	// -h used to funnel into the generic failure path and exit 1; asking
-	// for usage must exit 0.
+	// The shared convention (internal/cli): 0 for -h/-help and success,
+	// 2 for misuse (unknown flags or invalid flag values), 1 for runtime
+	// failures.
 	cases := []struct {
 		name string
 		args []string
@@ -126,8 +127,12 @@ func TestMainExitCodes(t *testing.T) {
 		{"help short", []string{"-h"}, 0},
 		{"help long", []string{"-help"}, 0},
 		{"success", []string{"-n", "16", "-seed", "3"}, 0},
-		{"bad flag", []string{"-definitely-not-a-flag"}, 1},
-		{"bad value", []string{"-deploy", "nope"}, 1},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad deploy", []string{"-deploy", "nope"}, 2},
+		{"bad algo", []string{"-algo", "nope"}, 2},
+		{"bad channel", []string{"-channel", "nope"}, 2},
+		{"bad gaincache", []string{"-gaincache", "sometimes"}, 2},
+		{"missing deploy file", []string{"-deploy-file", "/no/such/file.csv"}, 1},
 	}
 	for _, tc := range cases {
 		if got := mainExitCode(tc.args); got != tc.want {

@@ -94,10 +94,10 @@ func runSummary(args []string, out, errw io.Writer) error {
 	width := fs.Int("width", 60, "sparkline/bar width in characters")
 	topN := fs.Int("top", 5, "busiest nodes to list in the energy section")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("summary: no trace files")
+		return cli.Usagef("summary: no trace files")
 	}
 	var traces []*trace.Trace
 	for _, path := range fs.Args() {
@@ -189,7 +189,7 @@ func runDiff(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("crtrace diff", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	if err := fs.Parse(args); err != nil {
-		return cli.ExitCode(err)
+		return cli.ExitCode(cli.Usage(err))
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(errw, "crtrace: diff wants exactly two trace files")
@@ -229,10 +229,10 @@ func runRender(args []string, out, errw io.Writer) error {
 	width := fs.Int("width", 60, "render width in characters")
 	height := fs.Int("height", 20, "scatter height in rows")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.Usage(err)
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("render: want exactly one trace file")
+		return cli.Usagef("render: want exactly one trace file")
 	}
 	t, err := readTrace(fs.Arg(0))
 	if err != nil {

@@ -60,8 +60,10 @@ func run(args []string) (code int) {
 	}
 	finish, err := obsFlags.Start("crverify")
 	if err != nil {
+		// A profile file that cannot be created is a runtime failure, not
+		// misuse: exit 1, like the other CLIs (2 is reserved for misuse).
 		fmt.Fprintln(os.Stderr, "crverify:", err)
-		return 2
+		return 1
 	}
 	defer func() {
 		if ferr := finish(); ferr != nil {

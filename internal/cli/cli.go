@@ -1,23 +1,64 @@
 // Package cli holds the exit-status conventions shared by the repository's
-// commands. All four CLIs parse flags with flag.ContinueOnError, whose
+// commands. All CLIs parse flags with flag.ContinueOnError, whose
 // FlagSet.Parse returns flag.ErrHelp for -h/-help after printing usage;
 // funneling that error into the generic failure path made "crsim -h" exit 1.
-// ExitCode centralizes the mapping so help is a success everywhere.
+// ExitCode centralizes the mapping so every command agrees:
+//
+//	0  success, and -h/-help (asking for usage is a successful interaction)
+//	1  runtime failure (I/O errors, failed checks, canceled runs)
+//	2  misuse (unknown flags, invalid flag values, unknown subcommands)
+//
+// The 0/1/2 split follows the grep/POSIX-utility convention crverify
+// pioneered here: scripts can distinguish "the run failed" from "the
+// invocation was wrong". Commands mark misuse by wrapping the offending
+// error with Usage (or constructing one with Usagef) before returning it.
 package cli
 
 import (
 	"errors"
 	"flag"
+	"fmt"
 )
 
-// ExitCode maps a command's run error to its process exit status: 0 for nil
-// and for flag.ErrHelp (asking for usage is a successful interaction, the
-// GNU/POSIX convention), 1 for anything else.
-func ExitCode(err error) int {
-	if err == nil || errors.Is(err, flag.ErrHelp) {
-		return 0
+// usageError marks an error as invocation misuse (exit status 2).
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// Usage wraps err as a misuse error so ExitCode maps it to 2. A nil err
+// stays nil, and flag.ErrHelp keeps its help semantics (ExitCode checks
+// help before misuse), so flag.Parse errors can be wrapped unconditionally.
+func Usage(err error) error {
+	if err == nil {
+		return nil
 	}
-	return 1
+	return &usageError{err: err}
+}
+
+// Usagef constructs a misuse error from a format string.
+func Usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a misuse error.
+func IsUsage(err error) bool {
+	var ue *usageError
+	return errors.As(err, &ue)
+}
+
+// ExitCode maps a command's run error to its process exit status: 0 for nil
+// and for flag.ErrHelp, 2 for misuse errors (see Usage), 1 for anything
+// else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil || errors.Is(err, flag.ErrHelp):
+		return 0
+	case IsUsage(err):
+		return 2
+	default:
+		return 1
+	}
 }
 
 // IsHelp reports whether err is the -h/-help pseudo-error. Commands use it

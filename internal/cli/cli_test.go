@@ -18,6 +18,10 @@ func TestExitCode(t *testing.T) {
 		{"help", flag.ErrHelp, 0},
 		{"wrapped help", fmt.Errorf("parse: %w", flag.ErrHelp), 0},
 		{"plain error", errors.New("boom"), 1},
+		{"usage error", Usagef("unknown format %q", "pdf"), 2},
+		{"wrapped usage", fmt.Errorf("crserve: %w", Usage(errors.New("bad flag"))), 2},
+		{"usage-wrapped help stays help", Usage(flag.ErrHelp), 0},
+		{"usage of nil", Usage(nil), 0},
 	}
 	for _, tc := range cases {
 		if got := ExitCode(tc.err); got != tc.want {
@@ -26,9 +30,30 @@ func TestExitCode(t *testing.T) {
 	}
 }
 
+func TestUsage(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Error("Usage(nil) should stay nil")
+	}
+	base := errors.New("boom")
+	wrapped := Usage(base)
+	if !IsUsage(wrapped) {
+		t.Error("Usage result not detected by IsUsage")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("Usage must preserve the wrapped error chain")
+	}
+	if IsUsage(base) {
+		t.Error("plain error misdetected as usage")
+	}
+	if wrapped.Error() != "boom" {
+		t.Errorf("Usage changed the message: %q", wrapped.Error())
+	}
+}
+
 func TestHelpFlagsYieldErrHelp(t *testing.T) {
 	// The premise of the mapping: ContinueOnError turns -h and -help into
-	// flag.ErrHelp from Parse.
+	// flag.ErrHelp from Parse, which must stay exit 0 even when a command
+	// wraps every parse error with Usage.
 	for _, arg := range []string{"-h", "-help", "--help"} {
 		fs := flag.NewFlagSet("t", flag.ContinueOnError)
 		fs.SetOutput(io.Discard)
@@ -36,13 +61,13 @@ func TestHelpFlagsYieldErrHelp(t *testing.T) {
 		if !IsHelp(err) {
 			t.Errorf("Parse(%q) = %v, want flag.ErrHelp", arg, err)
 		}
-		if got := ExitCode(err); got != 0 {
-			t.Errorf("ExitCode(Parse(%q)) = %d, want 0", arg, got)
+		if got := ExitCode(Usage(err)); got != 0 {
+			t.Errorf("ExitCode(Usage(Parse(%q))) = %d, want 0", arg, got)
 		}
 	}
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	if err := fs.Parse([]string{"-no-such-flag"}); IsHelp(err) || ExitCode(err) != 1 {
-		t.Errorf("unknown flag: IsHelp=%v ExitCode=%d, want false/1", IsHelp(err), ExitCode(err))
+	if err := fs.Parse([]string{"-no-such-flag"}); IsHelp(err) || ExitCode(Usage(err)) != 2 {
+		t.Errorf("unknown flag: IsHelp=%v ExitCode=%d, want false/2", IsHelp(err), ExitCode(Usage(err)))
 	}
 }

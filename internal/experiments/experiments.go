@@ -46,6 +46,13 @@ type Config struct {
 	// Tracing is observational: experiment results and rendered tables are
 	// byte-identical with it on or off, at any parallelism.
 	Trace *trace.Capture
+	// Progress, when non-nil, observes every trial loop the experiment
+	// runs, after each completed trial (see runner.Options.Progress; it
+	// runs on the collector goroutine and must not block for long). An
+	// experiment may run several loops, so Done restarts from zero at
+	// each loop boundary. Purely observational: results are byte-identical
+	// with it set or nil.
+	Progress func(runner.Progress)
 }
 
 // sinrOptions translates the GainCache mode into channel options.
@@ -68,7 +75,7 @@ func (c Config) ctx() context.Context {
 func runTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
 	res, err := runner.Run(cfg.ctx(), trials,
 		func(_ context.Context, trial int) (T, error) { return fn(trial) },
-		runner.Options[T]{Parallelism: cfg.Parallelism})
+		runner.Options[T]{Parallelism: cfg.Parallelism, Progress: cfg.Progress})
 	if err != nil {
 		return nil, err
 	}

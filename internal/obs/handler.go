@@ -1,0 +1,18 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler exposing the registry's snapshot as
+// NDJSON: one event line per registered metric in ascending name order,
+// exactly the report shape the -metrics flag writes (see Registry.EmitTo).
+// Field order within each line is fixed, so two snapshots of identical
+// metric values render byte-identically — the same determinism contract as
+// every other export in this package.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// A mid-stream write error means the client went away; there is
+		// nothing useful to do about it here.
+		_ = r.EmitTo(NewSink(w))
+	})
+}

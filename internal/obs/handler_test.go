@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz.last").Add(7)
+	r.Counter("aa.first").Add(1)
+	r.Gauge("mm.middle").Set(3)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), rec.Body.String())
+	}
+	// Deterministic order: ascending metric name, fields in fixed order.
+	var names []string
+	for _, line := range lines {
+		var ev struct {
+			Event string `json:"event"`
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		names = append(names, ev.Name)
+	}
+	want := []string{"aa.first", "mm.middle", "zz.last"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("name order = %v, want %v", names, want)
+		}
+	}
+	if !strings.HasPrefix(lines[0], `{"event":"counter","name":"aa.first","value":1}`) {
+		t.Errorf("first line shape: %q", lines[0])
+	}
+
+	// Byte-identical across snapshots of unchanged values.
+	rec2 := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Body.String() != rec2.Body.String() {
+		t.Error("two snapshots of unchanged metrics differ")
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Result is a finished job's immutable payload. Body is never mutated
+// after creation, so cache entries can be shared across jobs and served
+// concurrently without copying.
+type Result struct {
+	Body        []byte
+	ContentType string
+}
+
+// Cache is a fixed-capacity LRU of job results keyed by Spec.Hash.
+// Determinism is what makes it sound: equal hashes imply byte-identical
+// bodies, so serving a hit is indistinguishable from recomputing.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache returns an LRU holding at most capacity results; capacity ≤ 0
+// disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores the result for key, evicting the least recently used entry
+// when over capacity. Storing an existing key refreshes its recency (the
+// bodies are byte-identical by the determinism contract, so which one is
+// kept is unobservable).
+func (c *Cache) Put(key string, res *Result) {
+	if c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

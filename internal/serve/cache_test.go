@@ -1,0 +1,61 @@
+package serve
+
+import "testing"
+
+func res(s string) *Result {
+	return &Result{Body: []byte(s), ContentType: "text/plain"}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", res("A"))
+	got, ok := c.Get("a")
+	if !ok || string(got.Body) != "A" {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res("A"))
+	c.Put("b", res("B"))
+	c.Get("a") // b is now least recently used
+	c.Put("c", res("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExistingKey(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res("A"))
+	c.Put("b", res("B"))
+	c.Put("a", res("A")) // refresh, not insert
+	c.Put("c", res("C"))
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed a was evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", res("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingRun is a stub job body that parks until released (or the job's
+// context is cancelled), so tests control exactly when jobs finish.
+type blockingRun struct {
+	started chan string   // receives the job's hash when it starts
+	release chan struct{} // closed (or sent to) to let jobs finish
+	runs    atomic.Int64
+}
+
+func newBlockingRun() *blockingRun {
+	return &blockingRun{
+		started: make(chan string, 64),
+		release: make(chan struct{}, 64),
+	}
+}
+
+func (b *blockingRun) run(ctx context.Context, spec Spec, _ int, _ func(Progress)) (*Result, error) {
+	b.runs.Add(1)
+	b.started <- spec.Hash()
+	select {
+	case <-b.release:
+		return &Result{Body: []byte("stub:" + spec.Hash()), ContentType: "text/plain"}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func newTestExecutor(t *testing.T, opts Options) *Executor {
+	t.Helper()
+	e := NewExecutor(opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = e.Drain(ctx)
+	})
+	return e
+}
+
+// specN returns sim specs that hash differently (distinct seeds).
+func specN(seed uint64) Spec {
+	s := simSpec()
+	s.Seed = seed
+	return s
+}
+
+func waitTerminal(t *testing.T, j *Job) Status {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never finished (state %s)", j.ID, j.Snapshot().State)
+	}
+	return j.Snapshot()
+}
+
+func TestExecutorRunsJob(t *testing.T) {
+	stub := newBlockingRun()
+	e := newTestExecutor(t, Options{Workers: 1, run: stub.run})
+	job, err := e.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j1" {
+		t.Errorf("first job id = %q, want j1", job.ID)
+	}
+	<-stub.started
+	stub.release <- struct{}{}
+	st := waitTerminal(t, job)
+	if st.State != StateDone || st.Cached {
+		t.Errorf("state = %s cached=%t, want done/false", st.State, st.Cached)
+	}
+	if got, _ := e.Job(job.ID); got != job {
+		t.Error("Job lookup lost the job")
+	}
+}
+
+func TestExecutorQueueFull(t *testing.T) {
+	stub := newBlockingRun()
+	e := newTestExecutor(t, Options{Workers: 1, QueueDepth: 1, run: stub.run})
+
+	running, err := e.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started // j1 occupies the worker
+	queued, err := e.Submit(specN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(specN(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+
+	// Backpressure, not failure: releasing capacity admits the job again.
+	stub.release <- struct{}{}
+	waitTerminal(t, running)
+	<-stub.started // queued job claims the worker
+	retried, err := e.Submit(specN(3))
+	if err != nil {
+		t.Fatalf("retry after capacity freed: %v", err)
+	}
+	stub.release <- struct{}{}
+	waitTerminal(t, queued)
+	<-stub.started
+	stub.release <- struct{}{}
+	waitTerminal(t, retried)
+}
+
+func TestExecutorCancelQueuedJob(t *testing.T) {
+	stub := newBlockingRun()
+	e := newTestExecutor(t, Options{Workers: 1, QueueDepth: 2, run: stub.run})
+	first, _ := e.Submit(specN(1))
+	<-stub.started
+	queued, _ := e.Submit(specN(2))
+
+	_, ok, cancelled := e.Cancel(queued.ID)
+	if !ok || !cancelled {
+		t.Fatalf("Cancel = %t/%t, want true/true", ok, cancelled)
+	}
+	st := waitTerminal(t, queued)
+	if st.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", st.State)
+	}
+	if st.StartedAt != "" {
+		t.Error("queued job was cancelled but has a start timestamp")
+	}
+
+	stub.release <- struct{}{}
+	waitTerminal(t, first)
+	if runs := stub.runs.Load(); runs != 1 {
+		t.Errorf("cancelled queued job still ran (%d runs)", runs)
+	}
+}
+
+func TestExecutorCancelRunningJob(t *testing.T) {
+	stub := newBlockingRun()
+	e := newTestExecutor(t, Options{Workers: 1, run: stub.run})
+	job, _ := e.Submit(specN(1))
+	<-stub.started
+
+	if _, ok, cancelled := e.Cancel(job.ID); !ok || !cancelled {
+		t.Fatal("cancel of running job refused")
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", st.State)
+	}
+
+	// A terminal job is no longer cancellable, but still known.
+	if _, ok, cancelled := e.Cancel(job.ID); !ok || cancelled {
+		t.Errorf("cancel of finished job = %t/%t, want true/false", ok, cancelled)
+	}
+	if _, ok, _ := e.Cancel("j999"); ok {
+		t.Error("cancel of unknown job reported ok")
+	}
+}
+
+func TestExecutorPanicIsolation(t *testing.T) {
+	var calm atomic.Bool
+	run := func(context.Context, Spec, int, func(Progress)) (*Result, error) {
+		if calm.Load() {
+			return &Result{Body: []byte("ok"), ContentType: "text/plain"}, nil
+		}
+		panic("kaboom")
+	}
+	e := newTestExecutor(t, Options{Workers: 1, run: run})
+	job, err := e.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateFailed || !strings.Contains(st.Error, "kaboom") {
+		t.Errorf("state=%s error=%q, want failed/kaboom", st.State, st.Error)
+	}
+
+	// The worker survived the panic and keeps serving.
+	calm.Store(true)
+	next, err := e.Submit(specN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, next); st.State != StateDone {
+		t.Errorf("job after panic: %s", st.State)
+	}
+}
+
+func TestExecutorCacheHitIsByteIdenticalAndSkipsQueue(t *testing.T) {
+	var runs atomic.Int64
+	e := newTestExecutor(t, Options{Workers: 1, run: func(_ context.Context, spec Spec, _ int, _ func(Progress)) (*Result, error) {
+		runs.Add(1)
+		return &Result{Body: []byte("body-of-" + spec.Hash()), ContentType: "text/plain"}, nil
+	}})
+
+	cold, err := e.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSt := waitTerminal(t, cold)
+	coldRes, _ := cold.ResultIfDone()
+
+	warm, err := e.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSt := warm.Snapshot() // born done: no waiting involved
+	if warmSt.State != StateDone || !warmSt.Cached {
+		t.Fatalf("cache hit state=%s cached=%t, want done/true", warmSt.State, warmSt.Cached)
+	}
+	warmRes, _ := warm.ResultIfDone()
+	if string(coldRes.Body) != string(warmRes.Body) {
+		t.Errorf("cache hit body differs from recomputation:\n%q\n%q", coldRes.Body, warmRes.Body)
+	}
+	if coldSt.Hash != warmSt.Hash {
+		t.Errorf("hashes differ: %s vs %s", coldSt.Hash, warmSt.Hash)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("spec ran %d times, want 1", runs.Load())
+	}
+}
+
+func TestExecutorDrainFinishesAcceptedJobs(t *testing.T) {
+	stub := newBlockingRun()
+	e := NewExecutor(Options{Workers: 1, QueueDepth: 4, run: stub.run})
+	running, _ := e.Submit(specN(1))
+	<-stub.started
+	queued, _ := e.Submit(specN(2))
+
+	close(stub.release) // let everything finish as the drain proceeds
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := running.Snapshot(); st.State != StateDone {
+		t.Errorf("running job drained to %s, want done", st.State)
+	}
+	if st := queued.Snapshot(); st.State != StateDone {
+		t.Errorf("queued job drained to %s, want done", st.State)
+	}
+	if !e.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+	if _, err := e.Submit(specN(3)); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: %v, want ErrDraining", err)
+	}
+}
+
+func TestExecutorDrainDeadlineCancelsInFlight(t *testing.T) {
+	stub := newBlockingRun() // never released: jobs only end via ctx
+	e := NewExecutor(Options{Workers: 1, run: stub.run})
+	job, _ := e.Submit(specN(1))
+	<-stub.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired deadline: drain must force-cancel and still return
+	if err := e.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain = %v, want context.Canceled", err)
+	}
+	if st := job.Snapshot(); st.State != StateCancelled {
+		t.Errorf("in-flight job drained to %s, want cancelled", st.State)
+	}
+}
+
+func TestExecutorRejectsInvalidSpec(t *testing.T) {
+	e := newTestExecutor(t, Options{Workers: 1, run: newBlockingRun().run})
+	if _, err := e.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+// Job lifecycle: queued → running → one of the three terminal states.
+// Cache hits are born done. A queued job can go straight to cancelled
+// without ever running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is a point-in-time view of a running job's trial loop.
+type Progress struct {
+	// Done is the number of completed trials; for experiment jobs it
+	// restarts from zero at each data point of the sweep.
+	Done int `json:"done"`
+	// Total is the trial count of the current loop.
+	Total int `json:"total"`
+	// Solved counts trials that solved contention resolution so far.
+	Solved int `json:"solved"`
+	// Errors counts failed trials so far.
+	Errors int `json:"errors"`
+}
+
+// Update is one streamed state/progress observation of a job.
+type Update struct {
+	State    State
+	Progress Progress
+}
+
+// Status is the externally visible snapshot of a job, as served by
+// GET /v1/jobs/{id}.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Hash  string `json:"hash"`
+	State State  `json:"state"`
+	// Cached reports that the result was served from the result cache
+	// rather than recomputed. Determinism makes the two byte-identical.
+	Cached   bool     `json:"cached,omitempty"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+	// Timestamps are RFC 3339; empty until the phase is reached.
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+// Job is one accepted submission. All mutable state is guarded by mu;
+// the done channel closes exactly once, when the job reaches a terminal
+// state, and the result (if any) is immutable from then on.
+type Job struct {
+	ID   string
+	Spec Spec // normalized
+	Hash string
+
+	mu       sync.Mutex
+	state    State
+	cached   bool
+	result   *Result
+	errMsg   string
+	progress Progress
+	cancel   context.CancelFunc
+	subs     []chan Update
+	done     chan struct{}
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, spec Spec, hash string) *Job {
+	return &Job{
+		ID:    id,
+		Spec:  spec,
+		Hash:  hash,
+		state: StateQueued,
+		done:  make(chan struct{}),
+		// Timestamps are reporting-only; no simulation state derives
+		// from them.
+		submitted: time.Now(), //crlint:allow nowallclock job timestamps are reporting-only
+	}
+}
+
+// Snapshot returns the current Status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		Hash:        j.Hash,
+		State:       j.state,
+		Cached:      j.cached,
+		Progress:    j.progress,
+		Error:       j.errMsg,
+		SubmittedAt: stamp(j.submitted),
+		StartedAt:   stamp(j.started),
+		FinishedAt:  stamp(j.finished),
+	}
+	return st
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ResultIfDone returns the result body when the job is done.
+func (j *Job) ResultIfDone() (*Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Subscribe registers a capacity-1, latest-wins update channel and returns
+// it with its unsubscribe function. Slow consumers only ever delay their
+// own view: a new update displaces an unconsumed one instead of blocking
+// the job.
+func (j *Job) Subscribe() (<-chan Update, func()) {
+	ch := make(chan Update, 1)
+	j.mu.Lock()
+	j.subs = append(j.subs, ch)
+	j.mu.Unlock()
+	unsub := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, unsub
+}
+
+// notifyLocked pushes the current state to every subscriber, displacing
+// any unconsumed previous update. Callers hold j.mu.
+func (j *Job) notifyLocked() {
+	upd := Update{State: j.state, Progress: j.progress}
+	for _, ch := range j.subs {
+		select {
+		case ch <- upd:
+		default:
+			// Drop the stale update, then try once more; a concurrent
+			// receive between the two selects just means the subscriber
+			// is live and will pick up the next notification.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- upd:
+			default:
+			}
+		}
+	}
+}
+
+// claimRunning transitions queued → running and installs the job's cancel
+// function. It reports false if the job was cancelled while queued, in
+// which case the worker must skip it.
+func (j *Job) claimRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = time.Now() //crlint:allow nowallclock job timestamps are reporting-only
+	j.notifyLocked()
+	return true
+}
+
+// setProgress records trial-loop progress and notifies subscribers.
+func (j *Job) setProgress(p Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.progress = p
+	j.notifyLocked()
+}
+
+// finish moves the job to a terminal state exactly once; later calls are
+// no-ops (e.g. a cancel racing the natural completion).
+func (j *Job) finish(state State, res *Result, errMsg string, cached bool) {
+	if !state.Terminal() {
+		panic(fmt.Sprintf("serve: finish with non-terminal state %q", state))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.cached = cached
+	j.finished = time.Now() //crlint:allow nowallclock job timestamps are reporting-only
+	j.notifyLocked()
+	close(j.done)
+}
+
+// requestCancel asks a non-terminal job to stop: a queued job is finished
+// as cancelled on the spot; a running job has its context cancelled and
+// reaches the cancelled state when its trial loop unwinds. Reports whether
+// the job was still cancellable.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		j.mu.Unlock()
+		j.finish(StateCancelled, nil, "cancelled while queued", false)
+		return true
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}

@@ -1,0 +1,20 @@
+package serve
+
+import "fadingcr/internal/obs"
+
+// Service metrics on the shared registry, exported by GET /metrics (and by
+// the -metrics flag like every other obs consumer). Counters cover the job
+// lifecycle and the result cache; gauges track instantaneous load.
+var (
+	mJobsSubmitted = obs.Default.Counter("serve.jobs_submitted")
+	mJobsDone      = obs.Default.Counter("serve.jobs_done")
+	mJobsFailed    = obs.Default.Counter("serve.jobs_failed")
+	mJobsCancelled = obs.Default.Counter("serve.jobs_cancelled")
+	mCacheHits     = obs.Default.Counter("serve.cache_hits")
+	mCacheMisses   = obs.Default.Counter("serve.cache_misses")
+	mQueueRejects  = obs.Default.Counter("serve.queue_rejects")
+	mHTTPRequests  = obs.Default.Counter("serve.http_requests")
+	mJobsRunning   = obs.Default.Gauge("serve.jobs_running")
+	mQueueDepth    = obs.Default.Gauge("serve.queue_depth")
+	mJobSeconds    = obs.Default.Histogram("serve.job_seconds", 1e-3, 24)
+)

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"fadingcr/internal/catalog"
+	"fadingcr/internal/experiments"
+	"fadingcr/internal/sinr"
+)
+
+// Spec is the domain object of the service: one simulation job, as
+// submitted by a client. A Spec names either a registered experiment (the
+// crbench workload) or a single-scenario Monte Carlo run (the crsim
+// workload); both are resolved against the same registries the CLIs use
+// (internal/experiments, internal/catalog), so a spec is valid here iff
+// the equivalent CLI invocation is.
+//
+// Because every job derives all randomness from (Spec, Seed) via the
+// runner.TrialSeeds contract, a normalized Spec fully determines the
+// result body, byte for byte — the property the result cache is keyed on.
+type Spec struct {
+	// Kind is "experiment" or "sim". Normalization infers it from which
+	// of Experiment/Sim is set, so clients may omit it.
+	Kind string `json:"kind,omitempty"`
+	// Experiment selects registered experiments for an experiment job:
+	// "all" or a comma-separated id list, exactly like crbench -ids.
+	Experiment string `json:"experiment,omitempty"`
+	// Sim describes the scenario of a sim job.
+	Sim *SimSpec `json:"sim,omitempty"`
+	// Seed is the master seed (runner.TrialSeeds derives every trial's
+	// randomness from it). Omitting it means seed 0, a valid seed.
+	Seed uint64 `json:"seed"`
+	// Trials is the trial count: for sim jobs the number of independent
+	// runs (default 1); for experiment jobs the trials per data point
+	// (0 selects each experiment's default).
+	Trials int `json:"trials,omitempty"`
+	// Quick shrinks experiment sweeps for smoke runs (experiment jobs).
+	Quick bool `json:"quick,omitempty"`
+	// GainCache is the SINR delivery engine mode: "auto" (default), "on",
+	// "off". Results are byte-identical in every mode.
+	GainCache string `json:"gaincache,omitempty"`
+	// Format renders experiment tables: "text" (default) or "markdown".
+	Format string `json:"format,omitempty"`
+	// Trace, on a single-trial sim job, includes the per-round event
+	// trace in the result body.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SimSpec is the scenario of a sim job, mirroring crsim's flags.
+type SimSpec struct {
+	// N is the number of nodes.
+	N int `json:"n"`
+	// Deploy is the deployment name (catalog.Deployments).
+	Deploy string `json:"deploy"`
+	// Algo is the algorithm name (catalog.Algorithms).
+	Algo string `json:"algo"`
+	// Channel is the channel name (catalog.Channels); default "sinr".
+	Channel string `json:"channel,omitempty"`
+	// P is the broadcast probability of the fixed-probability algorithms;
+	// 0 selects core.DefaultP.
+	P float64 `json:"p,omitempty"`
+	// MaxRounds is the round budget; 0 selects
+	// catalog.DefaultMaxRounds(N).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Job kind names.
+const (
+	KindExperiment = "experiment"
+	KindSim        = "sim"
+)
+
+// Limits protecting the daemon from absurd submissions. Generous: the
+// biggest registered experiment and crsim's largest documented scenarios
+// fit far below them.
+const (
+	// MaxSimNodes bounds SimSpec.N.
+	MaxSimNodes = 1 << 17
+	// MaxTrials bounds Spec.Trials for both job kinds.
+	MaxTrials = 1 << 20
+)
+
+// Normalized returns a copy with defaults made explicit and the Kind
+// inferred, so that every spec meaning the same job serializes to the same
+// canonical bytes. Validate operates on (and the executor runs) normalized
+// specs only.
+func (s Spec) Normalized() Spec {
+	n := s
+	if n.Sim != nil {
+		sim := *n.Sim
+		n.Sim = &sim
+	}
+	if n.Kind == "" {
+		switch {
+		case n.Experiment != "" && n.Sim == nil:
+			n.Kind = KindExperiment
+		case n.Sim != nil && n.Experiment == "":
+			n.Kind = KindSim
+		}
+		// Ambiguous or empty specs keep Kind "" and fail Validate.
+	}
+	if n.GainCache == "" {
+		n.GainCache = "auto"
+	}
+	switch n.Kind {
+	case KindExperiment:
+		if n.Format == "" {
+			n.Format = "text"
+		}
+		if n.Experiment == "" {
+			n.Experiment = "all"
+		}
+	case KindSim:
+		// Experiment-only knobs must not perturb the canonical form of a
+		// sim job (and vice versa), or equal jobs would miss the cache.
+		n.Format = ""
+		n.Quick = false
+		if n.Trials == 0 {
+			n.Trials = 1
+		}
+		if n.Sim != nil && n.Sim.Channel == "" {
+			n.Sim.Channel = "sinr"
+		}
+	}
+	return n
+}
+
+// Validate checks a normalized spec against the experiment registry and
+// the catalog. It returns nil iff the executor can run the spec.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindExperiment:
+		if s.Sim != nil {
+			return fmt.Errorf("a job is either %q or %q, not both", KindExperiment, KindSim)
+		}
+		if _, _, err := experiments.ConfigFromSpec(s.experimentSpec()); err != nil {
+			return err
+		}
+		if s.Format != "text" && s.Format != "markdown" {
+			return fmt.Errorf("unknown format %q (want text|markdown)", s.Format)
+		}
+		if s.Trace {
+			return fmt.Errorf("trace is only available on sim jobs with trials=1")
+		}
+	case KindSim:
+		if s.Experiment != "" {
+			return fmt.Errorf("a job is either %q or %q, not both", KindExperiment, KindSim)
+		}
+		if s.Sim == nil {
+			return fmt.Errorf("sim jobs need a sim scenario")
+		}
+		if s.Sim.N < 1 || s.Sim.N > MaxSimNodes {
+			return fmt.Errorf("sim.n must be in [1, %d], got %d", MaxSimNodes, s.Sim.N)
+		}
+		if s.Trials < 1 || s.Trials > MaxTrials {
+			return fmt.Errorf("trials must be in [1, %d], got %d", MaxTrials, s.Trials)
+		}
+		if !slices.Contains(catalog.Deployments(), s.Sim.Deploy) {
+			return fmt.Errorf("unknown deployment %q (have %v)", s.Sim.Deploy, catalog.Deployments())
+		}
+		if !slices.Contains(catalog.Algorithms(), s.Sim.Algo) {
+			return fmt.Errorf("unknown algorithm %q (have %v)", s.Sim.Algo, catalog.Algorithms())
+		}
+		if !slices.Contains(catalog.Channels(), s.Sim.Channel) {
+			return fmt.Errorf("unknown channel %q (have %v)", s.Sim.Channel, catalog.Channels())
+		}
+		if s.Sim.P < 0 || s.Sim.P > 1 {
+			return fmt.Errorf("sim.p must be in [0, 1] (0 selects the default), got %v", s.Sim.P)
+		}
+		if s.Sim.MaxRounds < 0 {
+			return fmt.Errorf("sim.max_rounds must be ≥ 0 (0 selects the default), got %d", s.Sim.MaxRounds)
+		}
+		if _, err := sinr.GainCacheOptions(s.GainCache); err != nil {
+			return err
+		}
+		if s.Trace && s.Trials != 1 {
+			return fmt.Errorf("trace needs trials=1, got %d", s.Trials)
+		}
+	default:
+		return fmt.Errorf(`a job sets exactly one of "experiment" or "sim"`)
+	}
+	return nil
+}
+
+// experimentSpec maps an experiment job onto the shared crbench/crserve
+// parsing path.
+func (s Spec) experimentSpec() experiments.Spec {
+	return experiments.Spec{
+		IDs:       s.Experiment,
+		Seed:      s.Seed,
+		Trials:    s.Trials,
+		Quick:     s.Quick,
+		GainCache: s.GainCache,
+	}
+}
+
+// CanonicalJSON renders the normalized spec as canonical bytes: struct
+// field order is fixed and defaults are explicit, so two specs meaning the
+// same job always produce identical bytes.
+func (s Spec) CanonicalJSON() []byte {
+	b, err := json.Marshal(s.Normalized())
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: canonical spec encoding: %v", err))
+	}
+	return b
+}
+
+// Hash returns the canonical (config, seed) key of the spec: the hex
+// SHA-256 of CanonicalJSON. Determinism makes this a perfect result-cache
+// key — equal hashes imply byte-identical result bodies.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256(s.CanonicalJSON())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func simSpec() Spec {
+	return Spec{
+		Sim:    &SimSpec{N: 16, Deploy: "disk", Algo: "fixed"},
+		Seed:   7,
+		Trials: 2,
+	}
+}
+
+func TestNormalizedInfersKindAndDefaults(t *testing.T) {
+	n := simSpec().Normalized()
+	if n.Kind != KindSim {
+		t.Errorf("Kind = %q, want %q", n.Kind, KindSim)
+	}
+	if n.Sim.Channel != "sinr" {
+		t.Errorf("Channel = %q, want sinr", n.Sim.Channel)
+	}
+	if n.GainCache != "auto" {
+		t.Errorf("GainCache = %q, want auto", n.GainCache)
+	}
+
+	e := Spec{Experiment: "E5"}.Normalized()
+	if e.Kind != KindExperiment || e.Format != "text" {
+		t.Errorf("experiment normalization: kind=%q format=%q", e.Kind, e.Format)
+	}
+	if e.Trials != 0 {
+		t.Errorf("experiment Trials defaulted to %d, want 0 (experiment default)", e.Trials)
+	}
+
+	s := simSpec()
+	s.Trials = 0
+	if got := s.Normalized().Trials; got != 1 {
+		t.Errorf("sim Trials defaulted to %d, want 1", got)
+	}
+}
+
+func TestNormalizedDoesNotMutateInput(t *testing.T) {
+	s := simSpec()
+	s.Sim.Channel = ""
+	_ = s.Normalized()
+	if s.Sim.Channel != "" {
+		t.Error("Normalized mutated the caller's SimSpec")
+	}
+}
+
+func TestHashEqualForEquivalentSpecs(t *testing.T) {
+	implicit := simSpec() // kind, channel, gaincache all defaulted
+	explicit := simSpec()
+	explicit.Kind = KindSim
+	explicit.GainCache = "auto"
+	explicit.Sim.Channel = "sinr"
+	if implicit.Hash() != explicit.Hash() {
+		t.Errorf("equivalent specs hash differently:\n%s\n%s",
+			implicit.CanonicalJSON(), explicit.CanonicalJSON())
+	}
+
+	// Experiment-only knobs must not perturb a sim job's hash.
+	noisy := simSpec()
+	noisy.Format = "markdown"
+	noisy.Quick = true
+	if noisy.Hash() != implicit.Hash() {
+		t.Error("experiment-only fields perturb a sim spec's hash")
+	}
+}
+
+func TestHashDistinguishesJobs(t *testing.T) {
+	base := simSpec()
+	seen := map[string]string{base.Hash(): "base"}
+	variants := map[string]Spec{}
+	v := simSpec()
+	v.Seed = 8
+	variants["seed"] = v
+	v = simSpec()
+	v.Trials = 3
+	variants["trials"] = v
+	v = simSpec()
+	v.Sim.N = 17
+	variants["n"] = v
+	v = simSpec()
+	v.Sim.Algo = "decay"
+	variants["algo"] = v
+	for name, spec := range variants {
+		h := spec.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestValidateAcceptsRealJobs(t *testing.T) {
+	good := []Spec{
+		simSpec(),
+		{Experiment: "E5", Quick: true, Trials: 2},
+		{Experiment: "all"},
+		{Sim: &SimSpec{N: 4, Deploy: "pairs", Algo: "sweep", Channel: "radio-cd"}, Trace: true},
+	}
+	for i, s := range good {
+		if err := s.Normalized().Validate(); err != nil {
+			t.Errorf("spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tr3 := simSpec()
+	tr3.Trials = 3
+	tr3.Trace = true
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"empty", Spec{}, "exactly one"},
+		{"both kinds", Spec{Experiment: "E1", Sim: &SimSpec{N: 4, Deploy: "disk", Algo: "fixed"}}, "exactly one"},
+		{"unknown experiment", Spec{Experiment: "E999"}, "unknown experiment id"},
+		{"bad format", Spec{Experiment: "E1", Format: "yaml"}, "unknown format"},
+		{"experiment trace", Spec{Experiment: "E1", Trace: true}, "trace"},
+		{"no scenario", Spec{Kind: KindSim}, "sim jobs need"},
+		{"zero nodes", Spec{Sim: &SimSpec{N: 0, Deploy: "disk", Algo: "fixed"}}, "sim.n"},
+		{"unknown deploy", Spec{Sim: &SimSpec{N: 8, Deploy: "moon", Algo: "fixed"}}, "unknown deployment"},
+		{"unknown algo", Spec{Sim: &SimSpec{N: 8, Deploy: "disk", Algo: "magic"}}, "unknown algorithm"},
+		{"unknown channel", Spec{Sim: &SimSpec{N: 8, Deploy: "disk", Algo: "fixed", Channel: "fiber"}}, "unknown channel"},
+		{"bad p", Spec{Sim: &SimSpec{N: 8, Deploy: "disk", Algo: "fixed", P: 1.5}}, "sim.p"},
+		{"negative rounds", Spec{Sim: &SimSpec{N: 8, Deploy: "disk", Algo: "fixed", MaxRounds: -1}}, "max_rounds"},
+		{"bad gaincache", func() Spec { s := simSpec(); s.GainCache = "maybe"; return s }(), "gain-cache"},
+		{"trace multi-trial", tr3, "trials=1"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalized().Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net/http"
+
+	"fadingcr/internal/obs"
+)
+
+// handleStream serves GET /v1/jobs/{id}/stream: an NDJSON stream of the
+// job's life, flushed line by line over a chunked response —
+//
+//	{"event":"job","id":...,"hash":...,"state":...}     once, first
+//	{"event":"state","state":...}                       on transitions
+//	{"event":"progress","done":...,"total":...,...}     as trials finish
+//	{"event":"result","state":...,...}                  once, last
+//
+// The final result event embeds a done job's body as a JSON string (the
+// body itself may be JSON or rendered tables; embedding keeps the stream
+// one-object-per-line). Progress is latest-wins: a slow reader skips
+// intermediate updates but always sees the final result.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.exec.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	// Subscribe before the first snapshot so no transition can fall
+	// between the snapshot and the subscription.
+	updates, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := obs.NewLineEncoder(w)
+
+	st := job.Snapshot()
+	enc.Begin("job")
+	enc.Str("id", st.ID)
+	enc.Str("kind", st.Kind)
+	enc.Str("hash", st.Hash)
+	enc.Str("state", string(st.State))
+	enc.Bool("cached", st.Cached)
+	if enc.End() != nil {
+		return
+	}
+	flusher.Flush()
+
+	lastState := st.State
+	for !st.State.Terminal() {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			st = job.Snapshot()
+		case upd := <-updates:
+			if upd.State != lastState {
+				lastState = upd.State
+				enc.Begin("state")
+				enc.Str("state", string(upd.State))
+				if enc.End() != nil {
+					return
+				}
+			}
+			if upd.State == StateRunning {
+				enc.Begin("progress")
+				enc.Int("done", int64(upd.Progress.Done))
+				enc.Int("total", int64(upd.Progress.Total))
+				enc.Int("solved", int64(upd.Progress.Solved))
+				enc.Int("errors", int64(upd.Progress.Errors))
+				if enc.End() != nil {
+					return
+				}
+			}
+			flusher.Flush()
+			st = job.Snapshot()
+		}
+	}
+
+	enc.Begin("result")
+	enc.Str("state", string(st.State))
+	enc.Bool("cached", st.Cached)
+	if res, done := job.ResultIfDone(); done {
+		enc.Str("content_type", res.ContentType)
+		enc.Str("body", string(res.Body))
+	} else {
+		enc.Str("error", st.Error)
+	}
+	_ = enc.End()
+	flusher.Flush()
+}
