@@ -11,6 +11,8 @@ package fadingcr_test
 
 import (
 	"context"
+	"math"
+	"os"
 	"runtime"
 	"strconv"
 	"testing"
@@ -213,6 +215,78 @@ func BenchmarkSINRDeliver(b *testing.B) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// benchGridPoints places n nodes on a unit grid (row-major). A unit grid is
+// already normalised (shortest link 1), so the O(n²) pairwise scan of
+// geom.NewDeployment is skipped — the only way to build 100 000-node
+// deployments in benchmark setup time.
+func benchGridPoints(n int) []geom.Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]geom.Point, 0, n)
+	for y := 0; len(pts) < n; y++ {
+		for x := 0; x < side && len(pts) < n; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	return pts
+}
+
+// BenchmarkSINRDeliverScale measures one Deliver round at simulation-farm
+// scale, isolating the ε far-field and parallel engines of DESIGN.md §8:
+// every engine computes attenuations on the fly (the gain cache cannot hold
+// n=100 000 anyway), so the exact/eps ratio is pure pruning and eps/
+// eps-parallel pure intra-round parallelism. α=4 (the regime the pruning
+// radius (~1/ε)^{1/α} is designed for), dense transmit set (n/5, the
+// early-round default p = 0.2), ε=1e-2 — the pruning radius scales like
+// (1/ε)^{1/α}, and the cross-check test bounds the resulting one-sided
+// disagreement rate. Sizes above 16384 need FADINGCR_BENCH_LARGE=1: one
+// exact n=100 000 round alone costs seconds, so CI runs the large sizes at
+// -benchtime=1x only. Workers are floored at 2 so the parallel engine is
+// exercised even on single-core boxes (where it honestly reports its
+// coordination overhead rather than silently degenerating to sequential).
+func BenchmarkSINRDeliverScale(b *testing.B) {
+	const eps = 1e-2
+	workers := min(max(2, runtime.GOMAXPROCS(0)), sinr.MaxDeliverParallelism)
+	for _, n := range []int{4096, 16384, 65536, 100000} {
+		engines := []struct {
+			name string
+			opts []fadingcr.ChannelOption
+		}{
+			{"exact", []fadingcr.ChannelOption{fadingcr.WithGainCache(false)}},
+			{"eps", []fadingcr.ChannelOption{fadingcr.WithGainCache(false), fadingcr.WithFarFieldEps(eps)}},
+			{"eps-parallel", []fadingcr.ChannelOption{
+				fadingcr.WithGainCache(false), fadingcr.WithFarFieldEps(eps), fadingcr.WithDeliverParallelism(workers),
+			}},
+		}
+		for _, eng := range engines {
+			b.Run("n="+strconv.Itoa(n)+"/"+eng.name, func(b *testing.B) {
+				if n > 16384 && os.Getenv("FADINGCR_BENCH_LARGE") == "" {
+					b.Skip("set FADINGCR_BENCH_LARGE=1 to run the large sizes")
+				}
+				pts := benchGridPoints(n)
+				side := math.Ceil(math.Sqrt(float64(n)))
+				params := sinr.Params{Alpha: 4, Beta: 1.5, Noise: 1}
+				params.Power = sinr.MinSingleHopPower(params.Alpha, params.Beta, params.Noise,
+					(side-1)*math.Sqrt2, sinr.DefaultSingleHopMargin)
+				ch, err := sinr.New(params, pts, eng.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx := make([]bool, n)
+				for i := 0; i < n; i += 5 {
+					tx[i] = true
+				}
+				recv := make([]int, n)
+				ch.Deliver(tx, recv) // warm the scratch buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ch.Deliver(tx, recv)
+				}
+			})
 		}
 	}
 }

@@ -46,16 +46,18 @@ func mainExitCode(args []string) int {
 func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
-		list      = fs.Bool("list", false, "list the registered experiments and exit")
-		ids       = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
-		quick     = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		seed      = fs.Uint64("seed", 1, "master seed")
-		trials    = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
-		format    = fs.String("format", "text", "output format: text|markdown")
-		out       = fs.String("o", "", "write output to this file instead of stdout")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
-		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
-		gaincache = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+		list         = fs.Bool("list", false, "list the registered experiments and exit")
+		ids          = fs.String("ids", "all", "comma-separated experiment ids (e.g. E1,E3) or 'all'")
+		quick        = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		seed         = fs.Uint64("seed", 1, "master seed")
+		trials       = fs.Int("trials", 0, "trials per data point (0 = experiment default)")
+		format       = fs.String("format", "text", "output format: text|markdown")
+		out          = fs.String("o", "", "write output to this file instead of stdout")
+		parallel     = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
+		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		gaincache    = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+		farfieldEps  = fs.Float64("farfield-eps", 0, "ε far-field pruning for SINR delivery (0 = exact; ε > 0 trades a bounded one-sided reception error for speed)")
+		sinrParallel = fs.Int("sinr-parallel", 0, "intra-round SINR Deliver workers (0/1 sequential; deterministic channels are identical at any value)")
 
 		traceDir      = fs.String("trace-dir", "", "write per-trial structured traces into this directory (analyse with crtrace)")
 		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
@@ -70,11 +72,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	// One shared parsing/validation path with crserve: the spec resolves
 	// ids, the gain-cache mode, and the trial count in one place.
 	selected, cfg, err := experiments.ConfigFromSpec(experiments.Spec{
-		IDs:       *ids,
-		Seed:      *seed,
-		Trials:    *trials,
-		Quick:     *quick,
-		GainCache: *gaincache,
+		IDs:          *ids,
+		Seed:         *seed,
+		Trials:       *trials,
+		Quick:        *quick,
+		GainCache:    *gaincache,
+		FarFieldEps:  *farfieldEps,
+		SINRParallel: *sinrParallel,
 	})
 	if err != nil {
 		return cli.Usage(err)

@@ -38,6 +38,7 @@ import (
 	"fadingcr/internal/cli"
 	"fadingcr/internal/obs"
 	"fadingcr/internal/serve"
+	"fadingcr/internal/sinr"
 )
 
 func main() {
@@ -67,6 +68,8 @@ func run(args []string, ready chan<- string, shutdown <-chan struct{}) (err erro
 		jobParallel  = fs.Int("job-parallel", runtime.GOMAXPROCS(0), "worker goroutines per job's trial loop (results are identical at any value)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
 		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		farfieldEps  = fs.Float64("farfield-eps", 0, "server default ε far-field pruning for specs that leave it unset (0 disables; injected pre-normalization, so job hashes reflect it)")
+		sinrParallel = fs.Int("sinr-parallel", 0, "server default intra-round SINR Deliver workers for specs that leave it unset (0 keeps the sequential engine)")
 	)
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +86,9 @@ func run(args []string, ready chan<- string, shutdown <-chan struct{}) (err erro
 	}
 	if *drainTimeout <= 0 {
 		return cli.Usagef("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+	if _, err := sinr.EngineOptions("auto", *farfieldEps, *sinrParallel); err != nil {
+		return cli.Usage(err)
 	}
 	finish, err := obsFlags.Start("crserve")
 	if err != nil {
@@ -101,6 +107,8 @@ func run(args []string, ready chan<- string, shutdown <-chan struct{}) (err erro
 			QueueDepth:     *queueDepth,
 			CacheEntries:   *cacheEntries,
 			JobParallelism: *jobParallel,
+			FarFieldEps:    *farfieldEps,
+			SINRParallel:   *sinrParallel,
 		},
 		LogWriter:   os.Stderr,
 		EnablePprof: *pprofFlag,

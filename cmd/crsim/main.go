@@ -48,22 +48,24 @@ func mainExitCode(args []string) int {
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("crsim", flag.ContinueOnError)
 	var (
-		n          = fs.Int("n", 128, "number of participating nodes")
-		deploy     = fs.String("deploy", "disk", "deployment: disk|square|grid|clusters|chain|pairs")
-		algo       = fs.String("algo", "fixed", "algorithm: fixed|sweep|decay|backoff|dampened|cdhalving|estimate|interleaved|knockout-sweep|staggered")
-		channel    = fs.String("channel", "sinr", "channel: sinr|rayleigh|radio|radio-cd")
-		seed       = fs.Uint64("seed", 1, "master seed (deployment and protocol)")
-		p          = fs.Float64("p", core.DefaultP, "broadcast probability for -algo fixed")
-		alpha      = fs.Float64("alpha", 3, "path-loss exponent α > 2")
-		beta       = fs.Float64("beta", 1.5, "SINR threshold β")
-		noise      = fs.Float64("noise", 1, "ambient noise N")
-		maxRounds  = fs.Int("max-rounds", 0, "round budget (0 = auto)")
-		showTrace  = fs.Bool("trace", false, "print per-round transmitter/reception counts")
-		csvPath    = fs.String("csv", "", "write the per-round trace as CSV to this file")
-		plot       = fs.Bool("plot", false, "render an ASCII scatter of the deployment and activity sparklines")
-		deployFile = fs.String("deploy-file", "", "load node positions from this CSV (x,y per line) instead of -deploy")
-		trials     = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
-		gaincache  = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+		n            = fs.Int("n", 128, "number of participating nodes")
+		deploy       = fs.String("deploy", "disk", "deployment: disk|square|grid|clusters|chain|pairs")
+		algo         = fs.String("algo", "fixed", "algorithm: fixed|sweep|decay|backoff|dampened|cdhalving|estimate|interleaved|knockout-sweep|staggered")
+		channel      = fs.String("channel", "sinr", "channel: sinr|rayleigh|radio|radio-cd")
+		seed         = fs.Uint64("seed", 1, "master seed (deployment and protocol)")
+		p            = fs.Float64("p", core.DefaultP, "broadcast probability for -algo fixed")
+		alpha        = fs.Float64("alpha", 3, "path-loss exponent α > 2")
+		beta         = fs.Float64("beta", 1.5, "SINR threshold β")
+		noise        = fs.Float64("noise", 1, "ambient noise N")
+		maxRounds    = fs.Int("max-rounds", 0, "round budget (0 = auto)")
+		showTrace    = fs.Bool("trace", false, "print per-round transmitter/reception counts")
+		csvPath      = fs.String("csv", "", "write the per-round trace as CSV to this file")
+		plot         = fs.Bool("plot", false, "render an ASCII scatter of the deployment and activity sparklines")
+		deployFile   = fs.String("deploy-file", "", "load node positions from this CSV (x,y per line) instead of -deploy")
+		trials       = fs.Int("trials", 1, "number of independent runs; > 1 prints summary statistics")
+		gaincache    = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+		farfieldEps  = fs.Float64("farfield-eps", 0, "ε far-field pruning for SINR delivery (0 = exact; ε > 0 trades a bounded one-sided reception error for speed)")
+		sinrParallel = fs.Int("sinr-parallel", 0, "intra-round SINR Deliver workers (0/1 sequential; deterministic channels are identical at any value)")
 
 		traceOut      = fs.String("trace-out", "", "write a structured event trace of the run to this file (analyse with crtrace)")
 		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
@@ -76,7 +78,7 @@ func run(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
 	}
-	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
+	sinrOpts, err := sinr.EngineOptions(*gaincache, *farfieldEps, *sinrParallel)
 	if err != nil {
 		return cli.Usage(err)
 	}

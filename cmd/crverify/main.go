@@ -45,6 +45,8 @@ func run(args []string) (code int) {
 	trials := fs.Int("trials", 15, "trials per estimated quantity")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines (results are identical at any value)")
 	gaincache := fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+	farfieldEps := fs.Float64("farfield-eps", 0, "ε far-field pruning for SINR delivery (0 = exact; ε > 0 trades a bounded one-sided reception error for speed)")
+	sinrParallel := fs.Int("sinr-parallel", 0, "intra-round SINR Deliver workers (0/1 sequential; deterministic channels are identical at any value)")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if cli.IsHelp(err) {
@@ -53,7 +55,7 @@ func run(args []string) (code int) {
 		}
 		return 2
 	}
-	sinrOpts, err := sinr.GainCacheOptions(*gaincache)
+	sinrOpts, err := sinr.EngineOptions(*gaincache, *farfieldEps, *sinrParallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crverify:", err)
 		return 2

@@ -113,17 +113,31 @@ const DefaultSingleHopMargin = sinr.DefaultSingleHopMargin
 // attenuation computation.
 const DefaultGainCacheCap = sinr.DefaultGainCacheCap
 
-// Gain-cache delivery engine controls. Every SINR channel precomputes the
+// MaxDeliverParallelism bounds WithDeliverParallelism worker counts.
+const MaxDeliverParallelism = sinr.MaxDeliverParallelism
+
+// SINR delivery engine controls. Every SINR channel precomputes the
 // pairwise attenuation matrix by default (up to DefaultGainCacheCap) and
-// delivers rounds allocation-free from the cached rows; these options tune
-// or disable that engine without ever changing delivery results.
+// delivers rounds allocation-free from the cached rows; the gain-cache
+// options tune or disable that engine without ever changing delivery
+// results. WithFarFieldEps and WithDeliverParallelism select the scaling
+// engines of DESIGN.md §8: ε pruning changes receptions within a
+// documented one-sided bound, and the parallel option is byte-identical
+// at any worker count (the Rayleigh channel switches its fade stream).
 var (
 	// WithGainCache enables (default) or disables the precomputed matrix.
 	WithGainCache = sinr.WithGainCache
 	// WithGainCacheCap bounds the matrix size in bytes (≤ 0 = unlimited).
 	WithGainCacheCap = sinr.WithGainCacheCap
+	// WithFarFieldEps enables ε far-field pruning (0 < ε < 0.5).
+	WithFarFieldEps = sinr.WithFarFieldEps
+	// WithDeliverParallelism runs Deliver across intra-round workers.
+	WithDeliverParallelism = sinr.WithDeliverParallelism
 	// GainCacheOptions parses a mode string ("auto"|"on"|"off") into options.
 	GainCacheOptions = sinr.GainCacheOptions
+	// EngineOptions combines the mode string with the ε and parallelism
+	// knobs — the shared flag-parsing path of every CLI.
+	EngineOptions = sinr.EngineOptions
 	// ReadGainCacheStats snapshots the process-wide cache counters.
 	ReadGainCacheStats = sinr.ReadGainCacheStats
 )

@@ -41,6 +41,22 @@ type Config struct {
 	// default memory cap, "on" caches regardless of size, "off" forces
 	// on-the-fly computation. Results are bit-identical in every mode.
 	GainCache string
+	// FarFieldEps, when > 0, enables the ε far-field pruning engine on
+	// every SINR channel the experiment builds: per listener, transmitters
+	// whose aggregate contribution is provably ≤ ε·(noise + near
+	// interference) are skipped. Unlike every other knob this one is
+	// approximate — receptions may differ from the exact engine within the
+	// documented one-sided bound (DESIGN.md §8) — so it is part of the
+	// result identity and must hash differently in the serve layer.
+	FarFieldEps float64
+	// SINRParallel, when ≥ 2, runs each Deliver round across that many
+	// intra-round workers over a fixed-shape listener-tile partition.
+	// Deterministic channels are byte-identical at any worker count; the
+	// Rayleigh channel switches to the per-listener fade-substream engine
+	// (also worker-count independent, but a different stream from the
+	// sequential default, so the option is part of the result identity for
+	// faded runs).
+	SINRParallel int
 	// Trace, when non-nil, captures structured per-trial event traces of
 	// the experiment's trial loops under the capture's retention policy.
 	// Tracing is observational: experiment results and rendered tables are
@@ -55,9 +71,9 @@ type Config struct {
 	Progress func(runner.Progress)
 }
 
-// sinrOptions translates the GainCache mode into channel options.
+// sinrOptions translates the engine knobs into channel options.
 func (c Config) sinrOptions() ([]sinr.Option, error) {
-	return sinr.GainCacheOptions(c.GainCache)
+	return sinr.EngineOptions(c.GainCache, c.FarFieldEps, c.SINRParallel)
 }
 
 // ctx returns the configured context, defaulting to context.Background.

@@ -26,6 +26,13 @@ type Spec struct {
 	Quick bool
 	// GainCache is the SINR delivery engine mode: ""/"auto", "on", "off".
 	GainCache string
+	// FarFieldEps enables ε far-field pruning when > 0 (see
+	// Config.FarFieldEps); it changes results within the documented bound
+	// and therefore the run's identity.
+	FarFieldEps float64
+	// SINRParallel is the intra-round Deliver worker count (see
+	// Config.SINRParallel); 0 keeps the sequential default.
+	SINRParallel int
 }
 
 // ConfigFromSpec validates a Spec and resolves it into the selected
@@ -37,7 +44,7 @@ func ConfigFromSpec(s Spec) ([]Experiment, Config, error) {
 	if s.Trials < 0 {
 		return nil, Config{}, fmt.Errorf("trials must be ≥ 0 (0 selects the experiment default), got %d", s.Trials)
 	}
-	if _, err := sinr.GainCacheOptions(s.GainCache); err != nil {
+	if _, err := sinr.EngineOptions(s.GainCache, s.FarFieldEps, s.SINRParallel); err != nil {
 		return nil, Config{}, err
 	}
 	selected, err := selectIDs(s.IDs)
@@ -45,10 +52,12 @@ func ConfigFromSpec(s Spec) ([]Experiment, Config, error) {
 		return nil, Config{}, err
 	}
 	return selected, Config{
-		Seed:      s.Seed,
-		Trials:    s.Trials,
-		Quick:     s.Quick,
-		GainCache: s.GainCache,
+		Seed:         s.Seed,
+		Trials:       s.Trials,
+		Quick:        s.Quick,
+		GainCache:    s.GainCache,
+		FarFieldEps:  s.FarFieldEps,
+		SINRParallel: s.SINRParallel,
 	}, nil
 }
 

@@ -49,6 +49,103 @@ func NewIndex(pts []Point, cell float64) (*Index, error) {
 	return ix, nil
 }
 
+// NewIndexCapped builds an index whose grid never exceeds maxCells cells,
+// doubling the cell size from the given starting value until the grid fits.
+// Sparse-but-spread deployments (e.g. exponential chains, whose extent grows
+// geometrically in n) would otherwise demand a bucket array proportional to
+// their area rather than their population. The resulting cell size is a pure
+// function of (pts, cell, maxCells), so callers building deterministic
+// engines on top of the index keep their determinism. maxCells must be ≥ 1.
+func NewIndexCapped(pts []Point, cell float64, maxCells int) (*Index, error) {
+	if maxCells < 1 {
+		return nil, errors.New("geom: maxCells must be ≥ 1")
+	}
+	if !(cell > 0) || math.IsInf(cell, 1) {
+		return nil, errors.New("geom: cell size must be positive and finite")
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("geom: index needs at least one point")
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	for {
+		cols := int((maxX-minX)/cell) + 1
+		rows := int((maxY-minY)/cell) + 1
+		if cols > 0 && rows > 0 && cols <= maxCells && rows <= maxCells/cols {
+			return NewIndex(pts, cell)
+		}
+		cell *= 2
+		if math.IsInf(cell, 1) {
+			return nil, errors.New("geom: cell size overflow while capping grid")
+		}
+	}
+}
+
+// Grid returns the index's grid shape: column count, row count, and cell
+// size. Cells are addressed as (col, row) with col in [0, cols) and row in
+// [0, rows).
+func (ix *Index) Grid() (cols, rows int, cell float64) {
+	return ix.cols, ix.rows, ix.cell
+}
+
+// CellAt returns the (col, row) coordinates of the grid cell containing p,
+// clamped to the grid like every internal lookup (points on the max edge
+// land in the last cell).
+func (ix *Index) CellAt(p Point) (col, row int) {
+	col = int((p.X - ix.minX) / ix.cell)
+	row = int((p.Y - ix.minY) / ix.cell)
+	if col < 0 {
+		col = 0
+	} else if col >= ix.cols {
+		col = ix.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= ix.rows {
+		row = ix.rows - 1
+	}
+	return col, row
+}
+
+// CellPoints returns the indices of the points in cell (col, row), in
+// ascending index order (points are inserted in index order at build time).
+// The returned slice aliases the index's storage and must not be mutated.
+// Out-of-grid coordinates return nil.
+//
+//crlint:hotpath
+func (ix *Index) CellPoints(col, row int) []int {
+	if col < 0 || col >= ix.cols || row < 0 || row >= ix.rows {
+		return nil
+	}
+	return ix.buckets[row*ix.cols+col]
+}
+
+// CellMaxDist2 returns an upper bound on the squared distance from p to any
+// point inside cell (col, row): the squared distance to the cell's farthest
+// corner. It is used by conservative far-field bounds, where an upper bound
+// on distance gives a lower bound on received signal.
+//
+//crlint:hotpath
+func (ix *Index) CellMaxDist2(col, row int, p Point) float64 {
+	x0 := ix.minX + float64(col)*ix.cell
+	y0 := ix.minY + float64(row)*ix.cell
+	dx := p.X - x0
+	if d := x0 + ix.cell - p.X; d > dx {
+		dx = d
+	}
+	dy := p.Y - y0
+	if d := y0 + ix.cell - p.Y; d > dy {
+		dy = d
+	}
+	return dx*dx + dy*dy
+}
+
 func (ix *Index) cellOf(p Point) int {
 	col := int((p.X - ix.minX) / ix.cell)
 	row := int((p.Y - ix.minY) / ix.cell)

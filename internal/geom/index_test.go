@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -166,6 +167,216 @@ func TestComputeLinkClassesIndexedChain(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexDegenerateOneCell: every point in a single grid cell — the ring
+// scan must still find neighbours, and the accessors must report the 1×1
+// grid faithfully.
+func TestIndexDegenerateOneCell(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 0.3, Y: 0.1}, {X: 0.1, Y: 0.4}, {X: 0.45, Y: 0.45}}
+	ix, err := NewIndex(pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, cell := ix.Grid()
+	if cols != 1 || rows != 1 || cell != 100 {
+		t.Fatalf("Grid() = (%d, %d, %v), want (1, 1, 100)", cols, rows, cell)
+	}
+	got := ix.CellPoints(0, 0)
+	if len(got) != len(pts) {
+		t.Fatalf("CellPoints(0,0) = %v, want all %d points", got, len(pts))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("CellPoints(0,0) = %v, want ascending indices", got)
+		}
+	}
+	active := allActive(len(pts))
+	for u := range pts {
+		gotV, gotD := ix.Nearest(u, active)
+		wantV, wantD := bruteNearestActive(pts, active, u)
+		if gotV != wantV || math.Abs(gotD-wantD) > 1e-12 {
+			t.Errorf("Nearest(%d) = (%d, %v), want (%d, %v)", u, gotV, gotD, wantV, wantD)
+		}
+	}
+}
+
+func TestIndexDegenerateSinglePoint(t *testing.T) {
+	pts := []Point{{X: 3, Y: -2}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, d := ix.Nearest(0, []bool{true}); v != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on singleton = (%d, %v), want (-1, +Inf)", v, d)
+	}
+	if col, row := ix.CellAt(pts[0]); col != 0 || row != 0 {
+		t.Errorf("CellAt = (%d, %d), want (0, 0)", col, row)
+	}
+	if got := ix.CellPoints(0, 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("CellPoints(0,0) = %v, want [0]", got)
+	}
+	if got := ix.CellPoints(1, 0); got != nil {
+		t.Errorf("out-of-grid CellPoints = %v, want nil", got)
+	}
+	if got := ix.CellPoints(0, -1); got != nil {
+		t.Errorf("out-of-grid CellPoints = %v, want nil", got)
+	}
+}
+
+// TestIndexDegenerateCollinear: collinear points produce a 1-row grid; the
+// ring scan degenerates to a 1-D sweep and must still match brute force.
+func TestIndexDegenerateCollinear(t *testing.T) {
+	pts := make([]Point, 17)
+	for i := range pts {
+		pts[i] = Point{X: float64(i) * 1.5, Y: 0}
+	}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rows, _ := ix.Grid(); rows != 1 {
+		t.Fatalf("collinear grid rows = %d, want 1", rows)
+	}
+	active := allActive(len(pts))
+	active[5] = false
+	active[6] = false
+	for u := range pts {
+		gotV, gotD := ix.Nearest(u, active)
+		wantV, wantD := bruteNearestActive(pts, active, u)
+		if wantV < 0 {
+			if gotV != -1 {
+				t.Errorf("Nearest(%d) = %d, want -1", u, gotV)
+			}
+			continue
+		}
+		if math.Abs(gotD-wantD) > 1e-12 {
+			t.Errorf("Nearest(%d) dist = %v, want %v", u, gotD, wantD)
+		}
+	}
+}
+
+func TestNewIndexCapped(t *testing.T) {
+	if _, err := NewIndexCapped(nil, 2, 64); err == nil {
+		t.Error("empty point set accepted")
+	}
+	if _, err := NewIndexCapped([]Point{{}}, 2, 0); err == nil {
+		t.Error("zero maxCells accepted")
+	}
+	if _, err := NewIndexCapped([]Point{{}}, -1, 64); err == nil {
+		t.Error("negative cell accepted")
+	}
+
+	// A huge-spread deployment: with cell 2 the grid would need ~2^20 columns;
+	// capping to 4096 cells must coarsen the cell size instead of allocating
+	// a multi-megabyte bucket array.
+	pts := []Point{{X: 0, Y: 0}, {X: 1 << 21, Y: 0}, {X: 3, Y: 0}}
+	ix, err := NewIndexCapped(pts, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, cell := ix.Grid()
+	if cols*rows > 4096 {
+		t.Fatalf("capped grid has %d×%d = %d cells, want ≤ 4096", cols, rows, cols*rows)
+	}
+	if cell <= 2 {
+		t.Fatalf("capped cell = %v, want coarsened above 2", cell)
+	}
+	active := allActive(len(pts))
+	if v, d := ix.Nearest(0, active); v != 2 || d != 3 {
+		t.Errorf("Nearest(0) = (%d, %v), want (2, 3)", v, d)
+	}
+
+	// Under the cap, NewIndexCapped must behave exactly like NewIndex.
+	small := []Point{{X: 0, Y: 0}, {X: 5, Y: 5}}
+	capped, err := NewIndexCapped(small, 2, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewIndex(small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, cr, ccell := capped.Grid()
+	pc, pr, pcell := plain.Grid()
+	if cc != pc || cr != pr || ccell != pcell {
+		t.Errorf("capped grid (%d, %d, %v) != plain grid (%d, %d, %v)", cc, cr, ccell, pc, pr, pcell)
+	}
+}
+
+func TestIndexCellMaxDist2(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 7, Y: 7}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows, _ := ix.Grid()
+	// Every point in every cell must be within the bound from every probe.
+	probes := []Point{{X: 0, Y: 0}, {X: 3.5, Y: 3.5}, {X: 7, Y: 7}, {X: -1, Y: 9}}
+	extra := []Point{{X: 1.9, Y: 0.1}, {X: 4.2, Y: 6.6}, {X: 6.99, Y: 0}}
+	all := append(append([]Point{}, pts...), extra...)
+	ix2, err := NewIndex(all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols2, rows2, _ := ix2.Grid()
+	if cols2 != cols || rows2 != rows {
+		t.Fatalf("grid changed: (%d, %d) vs (%d, %d)", cols2, rows2, cols, rows)
+	}
+	for _, p := range probes {
+		for row := 0; row < rows; row++ {
+			for col := 0; col < cols; col++ {
+				bound := ix2.CellMaxDist2(col, row, p)
+				for _, v := range ix2.CellPoints(col, row) {
+					if d2 := p.Dist2(all[v]); d2 > bound+1e-9 {
+						t.Errorf("point %d in cell (%d, %d): dist2 %v exceeds bound %v", v, col, row, d2, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkIndexCellIteration measures the per-listener cost of the cell
+// walk the far-field Deliver path performs: locate the listener's cell, then
+// stream the point lists of the surrounding ring of cells.
+func BenchmarkIndexCellIteration(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := UniformDisk(11, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix, err := NewIndexCapped(d.Points, 2, 4*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cols, rows, _ := ix.Grid()
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				u := i % n
+				col, row := ix.CellAt(d.Points[u])
+				for dr := -2; dr <= 2; dr++ {
+					r := row + dr
+					if r < 0 || r >= rows {
+						continue
+					}
+					for dc := -2; dc <= 2; dc++ {
+						c := col + dc
+						if c < 0 || c >= cols {
+							continue
+						}
+						sink += len(ix.CellPoints(c, r))
+					}
+				}
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink int
 
 func TestComputeLinkClassesIndexedSingleActive(t *testing.T) {
 	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}

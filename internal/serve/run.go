@@ -126,7 +126,7 @@ func (t *traceTap) OnRound(round int, _ []sim.Node, tx []bool, recv []int) {
 // runner.TrialSeeds contract (exactly the harness crsim -trials uses).
 func runSimSpec(ctx context.Context, spec Spec, parallelism int, progress func(Progress)) (*Result, error) {
 	ss := spec.Sim
-	sinrOpts, err := sinr.GainCacheOptions(spec.GainCache)
+	sinrOpts, err := sinr.EngineOptions(spec.GainCache, spec.FarFieldEps, spec.SINRParallel)
 	if err != nil {
 		return nil, err
 	}

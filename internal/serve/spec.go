@@ -43,6 +43,19 @@ type Spec struct {
 	// GainCache is the SINR delivery engine mode: "auto" (default), "on",
 	// "off". Results are byte-identical in every mode.
 	GainCache string `json:"gaincache,omitempty"`
+	// FarFieldEps enables ε far-field pruning when > 0 (valid range
+	// (0, 0.5)). Unlike GainCache it is approximate — receptions may
+	// differ from the exact engine within the documented one-sided bound —
+	// so it is part of the result identity: the omitempty tag keeps legacy
+	// spec hashes stable while every ε job hashes differently from its
+	// exact counterpart.
+	FarFieldEps float64 `json:"farfield_eps,omitempty"`
+	// SINRParallel is the intra-round Deliver worker count (0 or 1 keeps
+	// the sequential engine; max sinr.MaxDeliverParallelism). Deterministic
+	// channels are byte-identical at any worker count, but the Rayleigh
+	// channel switches to the fade-substream engine, so the knob is kept in
+	// the canonical form (omitempty preserves legacy hashes).
+	SINRParallel int `json:"sinr_parallel,omitempty"`
 	// Format renders experiment tables: "text" (default) or "markdown".
 	Format string `json:"format,omitempty"`
 	// Trace, on a single-trial sim job, includes the per-round event
@@ -174,7 +187,7 @@ func (s Spec) Validate() error {
 		if s.Sim.MaxRounds < 0 {
 			return fmt.Errorf("sim.max_rounds must be ≥ 0 (0 selects the default), got %d", s.Sim.MaxRounds)
 		}
-		if _, err := sinr.GainCacheOptions(s.GainCache); err != nil {
+		if _, err := sinr.EngineOptions(s.GainCache, s.FarFieldEps, s.SINRParallel); err != nil {
 			return err
 		}
 		if s.Trace && s.Trials != 1 {
@@ -190,11 +203,13 @@ func (s Spec) Validate() error {
 // parsing path.
 func (s Spec) experimentSpec() experiments.Spec {
 	return experiments.Spec{
-		IDs:       s.Experiment,
-		Seed:      s.Seed,
-		Trials:    s.Trials,
-		Quick:     s.Quick,
-		GainCache: s.GainCache,
+		IDs:          s.Experiment,
+		Seed:         s.Seed,
+		Trials:       s.Trials,
+		Quick:        s.Quick,
+		GainCache:    s.GainCache,
+		FarFieldEps:  s.FarFieldEps,
+		SINRParallel: s.SINRParallel,
 	}
 }
 

@@ -2,7 +2,11 @@ package sinr
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
+	"sync"
+	"sync/atomic"
 
 	"fadingcr/internal/geom"
 )
@@ -28,10 +32,47 @@ import (
 // with WithGainCacheCap.
 const DefaultGainCacheCap = 64 << 20
 
+// deliverTile is the fixed listener-tile width of every accumulation engine.
+// Pass one of Deliver processes listeners in [t·deliverTile, (t+1)·deliverTile)
+// blocks: the cached engine streams each gain row one tile at a time so the
+// per-listener accumulators stay cache-resident at any n, and the parallel
+// option assigns tile t to worker t mod workers. The value is part of the
+// determinism contract (DESIGN.md §8): the tile partition fixes the parallel
+// work shape, and because every per-listener float sequence is confined to
+// one tile, receptions are byte-identical at any worker count — but the
+// constant itself must never silently change between releases that promise
+// reproducibility.
+const deliverTile = 2048
+
+// MaxDeliverParallelism bounds WithDeliverParallelism; it exists to catch
+// nonsense worker counts at option-validation time, not to size anything.
+const MaxDeliverParallelism = 256
+
 // engineConfig is the resolved delivery-engine configuration of a channel.
 type engineConfig struct {
-	cache bool  // precompute the gain matrix at New time
-	cap   int64 // largest matrix to cache, in bytes
+	cache       bool    // precompute the gain matrix at New time
+	cap         int64   // largest matrix to cache, in bytes
+	farFieldEps float64 // > 0: ε far-field pruning mode
+	parallel    int     // ≥ 2: intra-round parallel Deliver workers
+}
+
+// validate rejects resolved configurations outside the supported envelope.
+func (ec engineConfig) validate() error {
+	if ec.farFieldEps != 0 && (!(ec.farFieldEps > 0) || ec.farFieldEps >= 0.5) {
+		return fmt.Errorf("sinr: far-field epsilon %v must be in (0, 0.5)", ec.farFieldEps)
+	}
+	if ec.parallel < 0 || ec.parallel > MaxDeliverParallelism {
+		return fmt.Errorf("sinr: deliver parallelism %d must be in [0, %d]", ec.parallel, MaxDeliverParallelism)
+	}
+	return nil
+}
+
+// workers returns the effective worker count (0 and 1 both mean sequential).
+func (ec engineConfig) workers() int {
+	if ec.parallel < 1 {
+		return 1
+	}
+	return ec.parallel
 }
 
 // Option configures a channel's delivery engine. Options never change
@@ -57,6 +98,30 @@ func WithGainCacheCap(bytes int64) Option {
 	}
 }
 
+// WithFarFieldEps enables the ε far-field pruning engine: per listener, only
+// transmitters in nearby spatial-index cells are summed exactly (in ascending
+// transmitter index, like every other engine), and the remaining far
+// transmitters are dropped once a conservative upper bound proves their
+// aggregate contribution is at most eps·(Noise + near interference). The
+// pruning decision uses distance bounds only — never accumulated floats — so
+// it is deterministic and identical in cached and on-the-fly modes. eps must
+// be in (0, 0.5); 0 restores the exact engine. See DESIGN.md §8 for the
+// precise error bound.
+func WithFarFieldEps(eps float64) Option {
+	return func(ec *engineConfig) { ec.farFieldEps = eps }
+}
+
+// WithDeliverParallelism sets the intra-round worker count of Deliver.
+// Workers process disjoint fixed-shape listener tiles (tile t → worker
+// t mod workers) and the threshold/observer pass stays sequential in
+// ascending listener order, so receptions are byte-identical at any worker
+// count. 0 and 1 both select the sequential engine; parallel delivery
+// allocates O(workers) per round, so the zero-allocation hot-path guarantee
+// applies to the sequential default only.
+func WithDeliverParallelism(workers int) Option {
+	return func(ec *engineConfig) { ec.parallel = workers }
+}
+
 // GainCacheOptions translates a CLI-style mode string into engine options:
 // "auto" (or "") caches up to DefaultGainCacheCap, "on" caches regardless of
 // size, "off" forces on-the-fly computation.
@@ -73,13 +138,40 @@ func GainCacheOptions(mode string) ([]Option, error) {
 	}
 }
 
-// resolveEngine applies options over the defaults.
-func resolveEngine(opts []Option) engineConfig {
+// EngineOptions translates the full CLI-style engine configuration — the
+// gain-cache mode plus the -farfield-eps and -sinr-parallel knobs — into
+// channel options, validating ranges up front so flag errors surface before
+// a channel is half-built. farfieldEps 0 and parallel 0 leave the defaults.
+func EngineOptions(gainCacheMode string, farfieldEps float64, parallel int) ([]Option, error) {
+	opts, err := GainCacheOptions(gainCacheMode)
+	if err != nil {
+		return nil, err
+	}
+	if farfieldEps != 0 {
+		if !(farfieldEps > 0) || farfieldEps >= 0.5 {
+			return nil, fmt.Errorf("sinr: far-field epsilon %v must be in (0, 0.5)", farfieldEps)
+		}
+		opts = append(opts, WithFarFieldEps(farfieldEps))
+	}
+	if parallel != 0 {
+		if parallel < 0 || parallel > MaxDeliverParallelism {
+			return nil, fmt.Errorf("sinr: deliver parallelism %d must be in [0, %d]", parallel, MaxDeliverParallelism)
+		}
+		opts = append(opts, WithDeliverParallelism(parallel))
+	}
+	return opts, nil
+}
+
+// resolveEngine applies options over the defaults and validates the result.
+func resolveEngine(opts []Option) (engineConfig, error) {
 	ec := engineConfig{cache: true, cap: DefaultGainCacheCap}
 	for _, o := range opts {
 		o(&ec)
 	}
-	return ec
+	if err := ec.validate(); err != nil {
+		return engineConfig{}, err
+	}
+	return ec, nil
 }
 
 // gainCache is the precomputed attenuation matrix of a deployment:
@@ -101,14 +193,42 @@ func (gc *gainCache) at(u, v int) float64 { return gc.g[u*gc.n+v] }
 // bytes returns the matrix footprint.
 func (gc *gainCache) bytes() int64 { return int64(gc.n) * int64(gc.n) * 8 }
 
+// gainCacheWarned makes the over-cap fallback warning fire at most once per
+// process: n=100k runs would otherwise print one line per trial channel.
+// Tests reset it (and redirect gainCacheWarnTo) to capture the message.
+var (
+	gainCacheWarned atomic.Bool
+	gainCacheWarnTo io.Writer = os.Stderr
+	gainCacheWarnMu sync.Mutex
+)
+
+// warnGainCacheOverCap emits the one-time over-cap diagnostic. Silent
+// fallback was a footgun at large n: the run quietly switches to the O(n²)
+// on-the-fly engine and only the sinr.gaincache_fallback metric records why.
+func warnGainCacheOverCap(n int, need, cap int64) {
+	if !gainCacheWarned.CompareAndSwap(false, true) {
+		return
+	}
+	gainCacheWarnMu.Lock()
+	defer gainCacheWarnMu.Unlock()
+	fmt.Fprintf(gainCacheWarnTo,
+		"sinr: gain cache disabled for n=%d (matrix %s exceeds cap %s); delivery falls back to the slower on-the-fly engine. Raise the cap (WithGainCacheCap / -gaincache on) or enable far-field pruning (-farfield-eps) for large deployments. [warned once]\n",
+		n, FormatBytes(need), FormatBytes(cap))
+}
+
 // newGainCache precomputes the matrix, or returns nil when the engine
 // configuration disables caching or the matrix would exceed the cap. The
 // matrix is symmetric, so only the upper triangle is computed and mirrored
 // (Dist2 and attenuation are bitwise symmetric in their arguments).
 func newGainCache(pts []geom.Point, alpha float64, ec engineConfig) *gainCache {
 	n := len(pts)
-	if !ec.cache || int64(n)*int64(n)*8 > ec.cap {
+	if !ec.cache {
 		mGainCacheFallback.Inc()
+		return nil
+	}
+	if need := int64(n) * int64(n) * 8; need > ec.cap {
+		mGainCacheFallback.Inc()
+		warnGainCacheOverCap(n, need, ec.cap)
 		return nil
 	}
 	g := make([]float64, n*n)
@@ -141,19 +261,17 @@ type deliverScratch struct {
 }
 
 // newDeliverScratch preallocates every buffer at channel-construction time.
-// cached selects whether the transmitter-major accumulator arrays are
-// needed; the on-the-fly engine only uses the index list and signal buffer.
-func newDeliverScratch(n int, cached bool) deliverScratch {
-	s := deliverScratch{
+// All engines now share the tiled accumulator arrays (pass one fills
+// totals/best/bestU per listener tile, pass two thresholds sequentially), so
+// every buffer is always allocated: 40 bytes per node.
+func newDeliverScratch(n int) deliverScratch {
+	return deliverScratch{
 		txList:  make([]int, 0, n),
 		signals: make([]float64, 0, n),
+		totals:  make([]float64, n),
+		best:    make([]float64, n),
+		bestU:   make([]int, n),
 	}
-	if cached {
-		s.totals = make([]float64, n)
-		s.best = make([]float64, n)
-		s.bestU = make([]int, n)
-	}
-	return s
 }
 
 // indices collects the transmitting node indices into the reusable list.

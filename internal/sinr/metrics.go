@@ -12,6 +12,9 @@ var (
 	mDeliveries         = obs.Default.Counter("sinr.deliveries")
 	mDeliveriesCached   = obs.Default.Counter("sinr.deliveries_cached")
 	mDeliveriesFallback = obs.Default.Counter("sinr.deliveries_fallback")
+	mDeliveriesFarField = obs.Default.Counter("sinr.deliveries_farfield")
+	mDeliveriesParallel = obs.Default.Counter("sinr.deliveries_parallel")
+	mFarFieldPrunedTx   = obs.Default.Counter("sinr.farfield_pruned_tx")
 	mGainCacheBuilt     = obs.Default.Counter("sinr.gaincache_built")
 	mGainCacheFallback  = obs.Default.Counter("sinr.gaincache_fallback")
 	mGainCacheMaxBytes  = obs.Default.Gauge("sinr.gaincache_max_bytes")

@@ -138,6 +138,8 @@ type Channel struct {
 	params   Params
 	pts      []geom.Point
 	gains    *gainCache // nil: compute attenuations on the fly
+	ff       *farField  // nil: exact delivery (the default)
+	par      int        // ≥ 2: intra-round parallel workers
 	scratch  deliverScratch
 	observer ReceptionObserver
 }
@@ -146,7 +148,10 @@ type Channel struct {
 // returns an error if the parameters are invalid or fewer than one node is
 // given. By default the channel precomputes the pairwise gain matrix (see
 // the gain-cache notes in this package) up to DefaultGainCacheCap; options
-// adjust that policy without ever changing delivery results.
+// adjust that policy without ever changing delivery results. The
+// WithFarFieldEps option selects the approximate ε far-field engine (see
+// farfield.go), the only option that can change receptions — within its
+// documented error bound.
 func New(params Params, pts []geom.Point, opts ...Option) (*Channel, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -154,15 +159,26 @@ func New(params Params, pts []geom.Point, opts ...Option) (*Channel, error) {
 	if len(pts) == 0 {
 		return nil, errors.New("sinr: channel needs at least one node")
 	}
+	ec, err := resolveEngine(opts)
+	if err != nil {
+		return nil, err
+	}
 	cp := make([]geom.Point, len(pts))
 	copy(cp, pts)
-	gains := newGainCache(cp, params.Alpha, resolveEngine(opts))
-	return &Channel{
+	c := &Channel{
 		params:  params,
 		pts:     cp,
-		gains:   gains,
-		scratch: newDeliverScratch(len(cp), gains != nil),
-	}, nil
+		gains:   newGainCache(cp, params.Alpha, ec),
+		par:     ec.workers(),
+		scratch: newDeliverScratch(len(cp)),
+	}
+	if ec.farFieldEps > 0 {
+		c.ff, err = newFarField(cp, params.Alpha, params.Noise, params.Power, params.Power, ec.farFieldEps, c.par)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // N returns the number of nodes on the channel.
@@ -211,79 +227,165 @@ func (c *Channel) Deliver(tx []bool, recv []int) {
 		panic(fmt.Sprintf("sinr: Deliver slice lengths tx=%d recv=%d, want %d", len(tx), len(recv), len(c.pts)))
 	}
 	mDeliveries.Inc()
-	txList := c.scratch.indices(tx)
-	if c.gains != nil {
+	switch {
+	case c.ff != nil:
+		mDeliveriesFarField.Inc()
+	case c.gains != nil:
 		mDeliveriesCached.Inc()
-		c.deliverCached(txList, tx, recv)
-		return
+	default:
+		mDeliveriesFallback.Inc()
 	}
-	mDeliveriesFallback.Inc()
-	for v := range c.pts {
-		recv[v] = -1
-		if tx[v] || len(txList) == 0 {
-			continue
-		}
-		best, bestU, total := -1.0, -1, 0.0
-		for _, u := range txList {
-			s := c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
-			total += s
-			if s > best {
-				best, bestU = s, u
-			}
-		}
-		// Interference for the strongest candidate excludes its own signal.
-		if ratio := c.params.SINR(best, total-best); ratio >= c.params.Beta {
-			recv[v] = bestU
-			if c.observer != nil {
-				c.observer.OnReception(v, bestU, ratio, ratio-c.params.Beta)
-			}
-		}
-	}
-}
-
-// deliverCached is the transmitter-major engine: pass one streams each
-// transmitter's cached gain row through per-listener accumulators (running
-// interference total, strongest signal and its sender), pass two applies the
-// SINR threshold. Each listener still sees its signals in ascending
-// transmitter order with the first strict maximum winning — the exact
-// per-listener float operations of the on-the-fly loop — so both engines
-// produce bit-identical receptions. Diagonal gains are +Inf but only reach
-// accumulators of transmitting listeners, which pass one ignores and pass
-// two masks to −1.
-//
-//crlint:hotpath
-func (c *Channel) deliverCached(txList []int, tx []bool, recv []int) {
+	txList := c.scratch.indices(tx)
 	if len(txList) == 0 {
 		for v := range recv {
 			recv[v] = -1
 		}
 		return
 	}
+	if c.ff != nil {
+		c.ff.prepareRound(txList)
+	}
+	n := len(c.pts)
+	if c.par > 1 {
+		c.deliverParallel(txList, tx)
+	} else {
+		switch {
+		case c.ff != nil:
+			for lo := 0; lo < n; lo += deliverTile {
+				c.accumulateFarTile(0, lo, min(lo+deliverTile, n), tx, txList)
+			}
+		case c.gains != nil:
+			for lo := 0; lo < n; lo += deliverTile {
+				c.accumulateCachedTile(lo, min(lo+deliverTile, n), txList)
+			}
+		default:
+			for lo := 0; lo < n; lo += deliverTile {
+				c.accumulateFlyTile(lo, min(lo+deliverTile, n), txList, tx)
+			}
+		}
+	}
+	finalizeReceptions(c.params, &c.scratch, c.observer, tx, recv)
+}
+
+// deliverParallel fans pass one out over runTiles. It is deliberately not
+// hotpath-annotated: the kernel closures and goroutines allocate O(workers)
+// per round, the documented cost of the parallel option.
+func (c *Channel) deliverParallel(txList []int, tx []bool) {
+	mDeliveriesParallel.Inc()
+	n := len(c.pts)
+	switch {
+	case c.ff != nil:
+		runTiles(n, c.par, func(w, lo, hi int) { c.accumulateFarTile(w, lo, hi, tx, txList) })
+	case c.gains != nil:
+		runTiles(n, c.par, func(_, lo, hi int) { c.accumulateCachedTile(lo, hi, txList) })
+	default:
+		runTiles(n, c.par, func(_, lo, hi int) { c.accumulateFlyTile(lo, hi, txList, tx) })
+	}
+}
+
+// accumulateCachedTile is pass one of the transmitter-major cached engine
+// over listeners [lo, hi): it streams each transmitter's cached gain-row
+// tile through the per-listener accumulators (running interference total,
+// strongest signal and its sender). Each listener sees its signals in
+// ascending transmitter order with the first strict maximum winning — the
+// exact per-listener float operations of the on-the-fly loop — so both
+// engines produce bit-identical receptions; the tile width only reorders
+// work *across* listeners, never within one. Diagonal gains are +Inf but
+// only reach accumulators of transmitting listeners, which the finalize
+// pass masks to −1.
+//
+//crlint:hotpath
+func (c *Channel) accumulateCachedTile(lo, hi int, txList []int) {
 	totals, best, bestU := c.scratch.totals, c.scratch.best, c.scratch.bestU
-	for v := range totals {
+	for v := lo; v < hi; v++ {
 		totals[v], best[v], bestU[v] = 0, -1, -1
 	}
 	power := c.params.Power
 	for _, u := range txList {
 		row := c.gains.row(u)
-		for v, g := range row {
-			s := power * g
+		for v := lo; v < hi; v++ {
+			s := power * row[v]
 			totals[v] += s
 			if s > best[v] {
 				best[v], bestU[v] = s, u
 			}
 		}
 	}
-	for v := range recv {
-		recv[v] = -1
+}
+
+// accumulateFlyTile is pass one of the on-the-fly engine over listeners
+// [lo, hi): the classic listener-major scalar loop, restricted to one tile
+// and parked in the shared accumulator arrays for the sequential finalize
+// pass. The per-listener float sequence is exactly the pre-tiling code's.
+//
+//crlint:hotpath
+func (c *Channel) accumulateFlyTile(lo, hi int, txList []int, tx []bool) {
+	totals, best, bestU := c.scratch.totals, c.scratch.best, c.scratch.bestU
+	for v := lo; v < hi; v++ {
+		totals[v], best[v], bestU[v] = 0, -1, -1
 		if tx[v] {
 			continue
 		}
+		b, bu, t := -1.0, -1, 0.0
+		for _, u := range txList {
+			s := c.params.signalFromDist2(c.pts[u].Dist2(c.pts[v]))
+			t += s
+			if s > b {
+				b, bu = s, u
+			}
+		}
+		totals[v], best[v], bestU[v] = t, b, bu
+	}
+}
+
+// accumulateFarTile is pass one of the ε far-field engine over listeners
+// [lo, hi): per listener, collect the near transmitter set from the spatial
+// index (exact below farFieldSmallTx transmitters), then sum it exactly in
+// ascending transmitter index. The worker index selects the near-set
+// scratch buffer, so concurrent tiles never share one.
+//
+//crlint:hotpath
+func (c *Channel) accumulateFarTile(worker, lo, hi int, tx []bool, txList []int) {
+	totals, best, bestU := c.scratch.totals, c.scratch.best, c.scratch.bestU
+	pruned := int64(0)
+	for v := lo; v < hi; v++ {
+		totals[v], best[v], bestU[v] = 0, -1, -1
+		if tx[v] {
+			continue
+		}
+		near := c.ff.nearSet(worker, v, tx, txList)
+		pruned += int64(len(txList) - len(near))
+		b, bu, t := -1.0, -1, 0.0
+		for _, u := range near {
+			s := c.signal(u, v)
+			t += s
+			if s > b {
+				b, bu = s, u
+			}
+		}
+		totals[v], best[v], bestU[v] = t, b, bu
+	}
+	mFarFieldPrunedTx.Add(pruned)
+}
+
+// finalizeReceptions is pass two of every engine: apply the SINR threshold
+// per listener in ascending index order, writing receptions and invoking the
+// observer. It is always sequential — the observer-ordering contract and
+// byte-identical parallel delivery both depend on that.
+//
+//crlint:hotpath
+func finalizeReceptions(params Params, s *deliverScratch, obs ReceptionObserver, tx []bool, recv []int) {
+	totals, best, bestU := s.totals, s.best, s.bestU
+	for v := range recv {
+		recv[v] = -1
+		if tx[v] || bestU[v] < 0 {
+			continue
+		}
 		// Interference for the strongest candidate excludes its own signal.
-		if ratio := c.params.SINR(best[v], totals[v]-best[v]); ratio >= c.params.Beta {
+		if ratio := params.SINR(best[v], totals[v]-best[v]); ratio >= params.Beta {
 			recv[v] = bestU[v]
-			if c.observer != nil {
-				c.observer.OnReception(v, bestU[v], ratio, ratio-c.params.Beta)
+			if obs != nil {
+				obs.OnReception(v, bestU[v], ratio, ratio-params.Beta)
 			}
 		}
 	}
