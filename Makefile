@@ -11,12 +11,15 @@ vet:
 	go vet ./...
 
 # Mirror of CI's lint job: the repo's own determinism/hot-path analyzers
-# (cmd/crlint) run through the go vet driver; staticcheck and govulncheck run
-# when installed and are skipped with a note otherwise, so `make lint` works
-# in offline sandboxes.
+# (cmd/crlint) run through the go vet driver, then standalone with -json to
+# write the bin/crlint.ndjson diagnostics artifact (diag events + a summary
+# line, even when clean); staticcheck and govulncheck run when installed and
+# are skipped with a note otherwise, so `make lint` works in offline
+# sandboxes.
 lint:
 	go build -o bin/crlint ./cmd/crlint
 	go vet -vettool=$(CURDIR)/bin/crlint ./...
+	bin/crlint -json ./... > bin/crlint.ndjson
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \

@@ -115,7 +115,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, *timeout) //crlint:allow nowallclock CLI -timeout flag bounds wall time only
 		defer cancel()
 	}
 	effective := *parallel

@@ -135,7 +135,7 @@ func run(args []string) (err error) {
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, *timeout) //crlint:allow nowallclock CLI -timeout flag bounds wall time only
 		defer cancel()
 	}
 	eo := engineOpts{ctx: ctx, parallel: *parallel}

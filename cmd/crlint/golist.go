@@ -7,6 +7,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -43,7 +44,7 @@ func runStandalone(patterns []string, tests bool, analyzers []*lint.Analyzer, as
 	if err != nil {
 		return fatalf("%v", err)
 	}
-	return printDiagnostics(diags, asJSON)
+	return printDiagnostics(os.Stdout, diags, asJSON)
 }
 
 // lintPatterns is the engine behind standalone mode, factored for tests: it

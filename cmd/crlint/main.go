@@ -22,17 +22,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"fadingcr/internal/lint"
+	"fadingcr/internal/obs"
 )
 
 func main() {
 	vFlag := flag.String("V", "", "print version information and exit (go vet passes -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print the analyzer flag definitions as JSON and exit (go vet flag discovery)")
-	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as NDJSON (one diag event per line plus a summary line)")
 	testsFlag := flag.Bool("tests", true, "also lint test compilation units (standalone mode)")
 	flag.Int("c", -1, "unused; accepted for go vet compatibility")
 
@@ -104,23 +106,41 @@ func printFlagDefs() {
 	fmt.Println(string(out))
 }
 
-// printDiagnostics renders diagnostics for humans (go vet relays stderr) or
-// as JSON, returning the process exit code.
-func printDiagnostics(diags []lint.Diagnostic, asJSON bool) int {
-	if len(diags) == 0 {
-		return 0
-	}
-	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "\t")
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, "crlint:", err)
-			return 1
+// printDiagnostics renders diagnostics for humans (go vet relays stderr) or,
+// under -json, as an NDJSON event stream on out: one "diag" line per
+// diagnostic followed by a single "summary" line, in the same line shape the
+// structured-trace serializer emits (internal/obs.LineEncoder). The summary
+// line is written even when the run is clean, so a CI artifact of the stream
+// records checked-and-clean rather than being empty. Returns the process
+// exit code.
+func printDiagnostics(out io.Writer, diags []lint.Diagnostic, asJSON bool) int {
+	if !asJSON {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		if len(diags) == 0 {
+			return 0
 		}
 		return 2
 	}
+	enc := obs.NewLineEncoder(out)
 	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d.String())
+		enc.Begin("diag")
+		enc.Str("file", d.Pos.Filename)
+		enc.Int("line", int64(d.Pos.Line))
+		enc.Int("col", int64(d.Pos.Column))
+		enc.Str("rule", d.Rule)
+		enc.Str("message", d.Message)
+		enc.End()
+	}
+	enc.Begin("summary")
+	enc.Int("diags", int64(len(diags)))
+	enc.Bool("clean", len(diags) == 0)
+	if err := enc.End(); err != nil {
+		return fatalf("write diagnostics: %v", err)
+	}
+	if len(diags) == 0 {
+		return 0
 	}
 	return 2
 }

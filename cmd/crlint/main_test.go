@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,7 +15,7 @@ import (
 
 // moduleRoot locates the repository root from the test's working directory
 // (cmd/crlint).
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -38,7 +41,7 @@ func TestRepoClean(t *testing.T) {
 
 // writeBadModule builds a scratch module violating every rule in the suite
 // and returns its directory.
-func writeBadModule(t *testing.T) string {
+func writeBadModule(t testing.TB) string {
 	t.Helper()
 	dir := t.TempDir()
 	files := map[string]string{
@@ -90,6 +93,27 @@ func Replayed(seed uint64, n int) uint64 {
 		acc += xrand.New(seed).Uint64()
 	}
 	return acc
+}
+`,
+		"par.go": `package scratch
+
+func Fan(out []int) {
+	for w := 0; w < len(out); w++ {
+		go func() { out[0] = w }()
+	}
+}
+
+func SumDown(xs []float64) float64 {
+	var s float64
+	for i := len(xs) - 1; i >= 0; i-- {
+		s += xs[i]
+	}
+	return s
+}
+
+//crlint:spechash
+type Spec struct {
+	Kind string ` + "`json:\"kind\"`" + `
 }
 `,
 	}
@@ -150,9 +174,97 @@ func TestVetToolProtocol(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool=crlint passed the bad module:\n%s", out)
 	}
-	for _, rule := range []string{"xrandonly", "nowallclock", "maporder", "seedsplit", "hotalloc"} {
+	for _, rule := range []string{
+		"xrandonly", "nowallclock", "maporder", "seedsplit",
+		"hotalloc", "partwrite", "floatorder", "spechash",
+	} {
 		if !strings.Contains(string(out), "["+rule+"]") {
 			t.Errorf("vet output lacks a %s diagnostic:\n%s", rule, out)
+		}
+	}
+}
+
+// ndjsonEvent is the decoded shape of one crlint -json line.
+type ndjsonEvent struct {
+	Event   string `json:"event"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Diags   int    `json:"diags"`
+	Clean   bool   `json:"clean"`
+}
+
+// decodeNDJSON parses every line of an NDJSON stream.
+func decodeNDJSON(t *testing.T, stream []byte) []ndjsonEvent {
+	t.Helper()
+	var events []ndjsonEvent
+	for _, line := range bytes.Split(bytes.TrimSpace(stream), []byte("\n")) {
+		var ev ndjsonEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestPrintDiagnosticsNDJSON checks the -json stream shape: one "diag" event
+// per diagnostic carrying position, rule, and message, closed by a "summary"
+// event with the count.
+func TestPrintDiagnosticsNDJSON(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Rule: "hotalloc", Message: `make call with "quotes"`},
+		{Pos: token.Position{Filename: "b.go", Line: 9, Column: 2}, Rule: "spechash", Message: "needs omitempty"},
+	}
+	var buf bytes.Buffer
+	if code := printDiagnostics(&buf, diags, true); code != 2 {
+		t.Fatalf("exit code = %d with diagnostics, want 2", code)
+	}
+	events := decodeNDJSON(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 2 diags + 1 summary:\n%s", len(events), buf.String())
+	}
+	for i, d := range diags {
+		ev := events[i]
+		if ev.Event != "diag" || ev.File != d.Pos.Filename || ev.Line != d.Pos.Line ||
+			ev.Col != d.Pos.Column || ev.Rule != d.Rule || ev.Message != d.Message {
+			t.Errorf("event %d = %+v does not round-trip diagnostic %v", i, ev, d)
+		}
+	}
+	if sum := events[2]; sum.Event != "summary" || sum.Diags != 2 || sum.Clean {
+		t.Errorf("summary = %+v, want event=summary diags=2 clean=false", events[2])
+	}
+}
+
+// TestPrintDiagnosticsNDJSONClean checks a clean run still writes a summary
+// line (the CI artifact must record checked-and-clean, not be empty).
+func TestPrintDiagnosticsNDJSONClean(t *testing.T) {
+	var buf bytes.Buffer
+	if code := printDiagnostics(&buf, nil, true); code != 0 {
+		t.Fatalf("exit code = %d on a clean run, want 0", code)
+	}
+	events := decodeNDJSON(t, buf.Bytes())
+	if len(events) != 1 || events[0].Event != "summary" || events[0].Diags != 0 || !events[0].Clean {
+		t.Errorf("clean stream = %+v, want exactly one summary with diags=0 clean=true", events)
+	}
+}
+
+// BenchmarkCrlintRepo times a full standalone lint of the repository —
+// enumerate, type-check against export data, and run all eight analyzers
+// over every compilation unit including tests. Tracks the cost of the
+// interprocedural call-graph layer as the tree grows.
+func BenchmarkCrlintRepo(b *testing.B) {
+	root := moduleRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		diags, err := lintPatterns(root, []string{"./..."}, true, lint.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repository is not lint-clean: %v", diags)
 		}
 	}
 }

@@ -91,5 +91,5 @@ func runUnit(cfgPath string, analyzers []*lint.Analyzer, asJSON bool) int {
 		}
 		return fatalf("%v", err)
 	}
-	return printDiagnostics(lint.Run(pkg, analyzers), asJSON)
+	return printDiagnostics(os.Stdout, lint.Run(pkg, analyzers), asJSON)
 }

@@ -131,7 +131,7 @@ func run(args []string, ready chan<- string, shutdown <-chan struct{}) (err erro
 	stop() // a second signal during the drain kills the process the hard way
 
 	fmt.Fprintf(os.Stderr, "crserve: draining (budget %v)\n", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout) //crlint:allow nowallclock graceful-drain budget bounds wall time only
 	defer cancel()
 	if err := d.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -32,3 +32,15 @@ func TestSeedSplit(t *testing.T) {
 func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, lint.HotAlloc, "hotalloc")
 }
+
+func TestPartWrite(t *testing.T) {
+	linttest.Run(t, lint.PartWrite, "partwrite")
+}
+
+func TestFloatOrder(t *testing.T) {
+	linttest.Run(t, lint.FloatOrder, "floatorder")
+}
+
+func TestSpecHash(t *testing.T) {
+	linttest.Run(t, lint.SpecHash, "spechash")
+}

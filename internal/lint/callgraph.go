@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file is the interprocedural layer under hotalloc: a package-local
+// call graph whose nodes carry per-function effect summaries (does the body
+// allocate? read the wall clock? construct an rng?), so //crlint:hotpath
+// constraints propagate transitively through unannotated helpers with a
+// precise "via call chain X → Y" diagnostic instead of requiring an
+// annotation on every callee.
+//
+// The graph is deliberately conservative and local:
+//
+//   - Edges exist only between functions declared in the package under
+//     analysis. Calls into other packages are summarized syntactically at
+//     the call site (time.*, context deadline helpers, xrand constructors)
+//     and otherwise assumed effect-free — cross-package allocation effects
+//     remain the benchmarks' job, exactly as before.
+//   - Interface method calls and calls of function values cannot be
+//     resolved statically; they mark the calling node `unknown` and the
+//     chain search does not guess through them.
+//   - Function and method values referenced without being called (passed as
+//     callbacks, stored in fields) still produce edges: a reference is a
+//     potential call.
+//   - A closure literal is summarized as a single allocation effect at the
+//     literal; the walk does not descend into its body (the capture itself
+//     is the hot-path violation, and the closure runs under its own
+//     function's rules if it is ever extracted).
+
+// effectKind classifies one direct effect a function body can have.
+type effectKind int
+
+const (
+	effectAlloc effectKind = iota
+	effectClock
+	effectRNG
+	numEffectKinds
+)
+
+// phrase returns the noun phrase used in chain diagnostics.
+func (k effectKind) phrase() string {
+	switch k {
+	case effectAlloc:
+		return "an allocation"
+	case effectClock:
+		return "a wall-clock read"
+	default:
+		return "an rng construction"
+	}
+}
+
+// An effect is one direct determinism- or allocation-relevant operation in a
+// function body.
+type effect struct {
+	pos   token.Pos
+	kind  effectKind
+	short string // noun phrase for chain diagnostics, e.g. "closure literal"
+	why   string // direct-diagnostic tail, e.g. "calls make, which allocates ..."
+}
+
+// A callSite is one statically resolved reference from a function to another
+// function declared in the same package (a call, or a function/method value
+// reference).
+type callSite struct {
+	pos    token.Pos
+	callee *funcNode
+}
+
+// A funcNode is one function's summary in the package-local call graph.
+type funcNode struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	name    string // display name: "helper" or "Type.Method"
+	hotpath bool
+	calls   []callSite
+	unknown bool // made a call the graph cannot resolve (interface dispatch, func value)
+	effects []effect
+}
+
+// A callGraph holds the per-function summaries for one package, in
+// declaration order.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+	order []*funcNode
+}
+
+// buildCallGraph constructs the graph over the pass's files (test files
+// already excluded by the driver when the analyzer skips them).
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{nodes: map[*types.Func]*funcNode{}}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{fn: fn, decl: fd, name: funcDisplayName(fn, fd), hotpath: IsHotpath(fd)}
+			g.nodes[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	for _, node := range g.order {
+		summarize(pass, g, node)
+	}
+	return g
+}
+
+// funcDisplayName renders "helper" for functions and "Type.Method" for
+// methods.
+func funcDisplayName(fn *types.Func, fd *ast.FuncDecl) string {
+	if _, typeName := recvTypeName(fn); typeName != "" {
+		return typeName + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// summarize fills one node's direct effects and outgoing edges.
+func summarize(pass *Pass, g *callGraph, node *funcNode) {
+	info := pass.TypesInfo
+	reuse := reuseBuffers(info, node.decl)
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			node.effects = append(node.effects, effect{
+				pos: n.Pos(), kind: effectAlloc, short: "closure literal",
+				why: "closure literal allocates (captured variables escape); hoist it out of the hot path",
+			})
+			return false
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "make"):
+				node.effects = append(node.effects, effect{
+					pos: n.Pos(), kind: effectAlloc, short: "make call",
+					why: "calls make, which allocates every call; preallocate scratch buffers at construction time",
+				})
+			case isBuiltin(info, n.Fun, "new"):
+				node.effects = append(node.effects, effect{
+					pos: n.Pos(), kind: effectAlloc, short: "new call",
+					why: "calls new, which allocates every call; preallocate at construction time",
+				})
+			case isBuiltin(info, n.Fun, "append") && len(n.Args) > 0:
+				if !appendsIntoReuse(info, n.Args[0], reuse) {
+					node.effects = append(node.effects, effect{
+						pos: n.Pos(), kind: effectAlloc, short: "growing append",
+						why: "append may grow and allocate; append into a preallocated scratch buffer resliced to [:0]",
+					})
+				}
+			default:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					if t := info.TypeOf(n); t != nil {
+						if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+							node.effects = append(node.effects, effect{
+								pos: n.Pos(), kind: effectAlloc, short: "slice conversion",
+								why: "conversion allocates a fresh slice",
+							})
+						}
+					}
+				} else if !resolvableCall(info, n) {
+					node.unknown = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					node.effects = append(node.effects, effect{
+						pos: n.Pos(), kind: effectAlloc, short: "&composite literal",
+						why: "&composite literal allocates; reuse a preallocated value",
+					})
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					node.effects = append(node.effects, effect{
+						pos: n.Pos(), kind: effectAlloc, short: "slice/map literal",
+						why: "slice/map literal allocates; reuse a preallocated buffer",
+					})
+				}
+			}
+		case *ast.Ident:
+			fn, ok := info.Uses[n].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg() == pass.Pkg {
+				if callee, ok := g.nodes[fn]; ok {
+					node.calls = append(node.calls, callSite{pos: n.Pos(), callee: callee})
+				} else {
+					// An interface method of a locally declared interface, or
+					// a bodyless declaration: no summary to chase.
+					node.unknown = true
+				}
+				return true
+			}
+			if e, ok := externalEffect(fn, n.Pos()); ok {
+				node.effects = append(node.effects, e)
+			}
+		}
+		return true
+	})
+}
+
+// resolvableCall reports whether a call expression's callee can be resolved
+// statically: a builtin, a named function or method, or a conversion. Calls
+// of function values and similar dynamic dispatch return false.
+func resolvableCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return false
+	}
+	switch info.Uses[id].(type) {
+	case *types.Func, *types.Builtin:
+		return true
+	}
+	return false
+}
+
+// contextDeadlineFuncs are the context package helpers that arm a wall-clock
+// deadline; like the time entry points they make behavior depend on real
+// time.
+var contextDeadlineFuncs = map[string]bool{
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+// externalEffect classifies a reference to another package's function as a
+// clock or rng effect, when it is one.
+func externalEffect(fn *types.Func, pos token.Pos) (effect, bool) {
+	pkg := fn.Pkg()
+	switch {
+	case pkg.Path() == "time" && wallClockFuncs[fn.Name()]:
+		return effect{
+			pos: pos, kind: effectClock, short: "time." + fn.Name() + " call",
+			why: "calls time." + fn.Name() + ", which reads the wall clock; hot-path behavior must be a pure function of the seed",
+		}, true
+	case pkg.Path() == "context" && contextDeadlineFuncs[fn.Name()]:
+		return effect{
+			pos: pos, kind: effectClock, short: "context." + fn.Name() + " call",
+			why: "calls context." + fn.Name() + ", which arms a wall-clock deadline; hot-path behavior must be a pure function of the seed",
+		}, true
+	case pkg.Name() == "xrand" && (fn.Name() == "New" || fn.Name() == "NewReseedable"):
+		return effect{
+			pos: pos, kind: effectRNG, short: "xrand." + fn.Name() + " call",
+			why: "calls xrand." + fn.Name() + ", which constructs a generator (allocates, and risks ad-hoc seeding); construct generators outside the hot path",
+		}, true
+	}
+	return effect{}, false
+}
+
+// chainTo searches breadth-first from start for the nearest reachable direct
+// effect of the given kind, returning the function names along the shortest
+// chain (start first) and the effect. Hot-path-annotated nodes are not
+// traversed: they are checked at their own declaration, so reporting through
+// them would duplicate diagnostics. Unknown calls are not guessed through.
+func (g *callGraph) chainTo(start *funcNode, kind effectKind) ([]string, effect, bool) {
+	type item struct {
+		node *funcNode
+		path []string
+	}
+	visited := map[*funcNode]bool{start: true}
+	queue := []item{{start, []string{start.name}}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.node.effects {
+			if e.kind == kind {
+				return cur.path, e, true
+			}
+		}
+		for _, site := range cur.node.calls {
+			next := site.callee
+			if visited[next] || next.hotpath {
+				continue
+			}
+			visited[next] = true
+			path := append(append([]string(nil), cur.path...), next.name)
+			queue = append(queue, item{next, path})
+		}
+	}
+	return nil, effect{}, false
+}
+
+// shortPosition renders pos as "file.go:NN" for chain diagnostics.
+func shortPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// chainString joins a call chain for display.
+func chainString(root string, path []string) string {
+	return root + " → " + strings.Join(path, " → ")
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// graphFor type-checks one import-free source string and builds its call
+// graph under the hotalloc pass.
+func graphFor(t *testing.T, src string) (*callGraph, *Pass) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	imp := ExportImporter(fset, func(path string) (string, error) {
+		return "", fmt.Errorf("fixture must not import anything, got %q", path)
+	})
+	pkg, err := TypeCheck(fset, "fixture", []*ast.File{f}, imp, "")
+	if err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	pass := &Pass{
+		Analyzer:  HotAlloc,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	return buildCallGraph(pass), pass
+}
+
+func (g *callGraph) byName(t *testing.T, name string) *funcNode {
+	t.Helper()
+	for _, n := range g.order {
+		if n.name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q (have %v)", name, func() []string {
+		var names []string
+		for _, n := range g.order {
+			names = append(names, n.name)
+		}
+		return names
+	}())
+	return nil
+}
+
+// Direct recursion must produce a self-edge and a terminating chain search.
+func TestCallGraphRecursion(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+`)
+	fact := g.byName(t, "fact")
+	if len(fact.calls) != 1 || fact.calls[0].callee != fact {
+		t.Fatalf("fact should have exactly one self-edge, got %d calls", len(fact.calls))
+	}
+	if fact.unknown {
+		t.Error("recursion is statically resolvable; unknown should be false")
+	}
+	if _, _, found := g.chainTo(fact, effectAlloc); found {
+		t.Error("fact has no effects; chain search through the cycle must come up empty")
+	}
+}
+
+// Mutual recursion must terminate and still find effects across the cycle.
+func TestCallGraphMutualRecursion(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+func even(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) []int {
+	if n == 0 {
+		return make([]int, 1)
+	}
+	return even(n - 1)
+}
+`)
+	even := g.byName(t, "even")
+	path, e, found := g.chainTo(even, effectAlloc)
+	if !found {
+		t.Fatal("chain search must reach odd's make through the mutual recursion")
+	}
+	if len(path) != 2 || path[0] != "even" || path[1] != "odd" {
+		t.Errorf("chain = %v, want [even odd]", path)
+	}
+	if e.kind != effectAlloc || e.short != "make call" {
+		t.Errorf("effect = %q (%v), want a make call allocation", e.short, e.kind)
+	}
+	if _, _, found := g.chainTo(g.byName(t, "odd"), effectClock); found {
+		t.Error("no clock effects exist; search for them must terminate empty")
+	}
+}
+
+// A method value reference is a potential call and must produce an edge to
+// the method.
+func TestCallGraphMethodValue(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func handler(c *counter) func() {
+	return c.bump
+}
+`)
+	handler := g.byName(t, "handler")
+	bump := g.byName(t, "counter.bump")
+	if len(handler.calls) != 1 || handler.calls[0].callee != bump {
+		t.Fatalf("handler should have one edge to counter.bump, got %d calls", len(handler.calls))
+	}
+	if handler.unknown {
+		t.Error("a method value on a concrete receiver is statically resolvable")
+	}
+}
+
+// Interface dispatch cannot be resolved statically: the caller gets the
+// conservative unknown-callee summary and the chain search does not guess.
+func TestCallGraphInterfaceCallUnknown(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+type observer interface {
+	OnEvent(v int)
+}
+
+type alloci struct{}
+
+func (alloci) OnEvent(v int) { _ = make([]int, v) }
+
+func notify(o observer, v int) {
+	o.OnEvent(v)
+}
+`)
+	notify := g.byName(t, "notify")
+	if !notify.unknown {
+		t.Error("an interface method call must mark the caller unknown")
+	}
+	if len(notify.calls) != 0 {
+		t.Errorf("notify must not claim resolved edges, got %d", len(notify.calls))
+	}
+	if _, _, found := g.chainTo(notify, effectAlloc); found {
+		t.Error("the chain search must not guess through interface dispatch")
+	}
+}
+
+// Calls of function values are equally unresolvable.
+func TestCallGraphFuncValueCallUnknown(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+func apply(fn func(int) int, v int) int {
+	return fn(v)
+}
+`)
+	if !g.byName(t, "apply").unknown {
+		t.Error("calling a function value must mark the caller unknown")
+	}
+}
+
+// Hot-path-annotated callees are boundaries: they are checked at their own
+// declaration, so the chain search must not traverse them.
+func TestCallGraphHotpathBoundary(t *testing.T) {
+	g, _ := graphFor(t, `package fixture
+
+func leaf(n int) []int { return make([]int, n) }
+
+//crlint:hotpath
+func mid(n int) []int { return leaf(n) }
+
+func root(n int) []int { return mid(n) }
+`)
+	root := g.byName(t, "root")
+	if _, _, found := g.chainTo(root, effectAlloc); found {
+		t.Error("mid is //crlint:hotpath and must act as a chain boundary")
+	}
+}

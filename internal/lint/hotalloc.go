@@ -16,75 +16,53 @@ import (
 //     fill a preallocated buffer),
 //   - closure literals (captures escape to the heap),
 //   - slice/map composite literals and &composite expressions,
-//   - conversions that produce a fresh slice ([]byte(s), ...).
+//   - conversions that produce a fresh slice ([]byte(s), ...),
 //
-// The check covers explicit allocation sites only; escape-analysis effects
-// (interface conversions in variadic calls, etc.) remain the benchmarks'
-// job via testing.AllocsPerRun regressions.
+// nor wall-clock reads (time.Now and friends, context deadline helpers) or
+// rng constructions (xrand.New/NewReseedable) — both break the hot path's
+// "pure function of the seed" contract, and generator construction
+// allocates.
+//
+// The constraints are interprocedural: a package-local call graph
+// (callgraph.go) summarizes every function's direct effects, and a hot-path
+// function that calls — or references, or transitively reaches through
+// unannotated same-package helpers — a function with such an effect is
+// flagged at the call site with the full call chain. Callees annotated
+// //crlint:hotpath are checked at their own declaration and not re-reported
+// through callers. Interface calls and function-value calls cannot be
+// resolved statically and are not guessed through; cross-package allocation
+// effects likewise remain the benchmarks' job via testing.AllocsPerRun
+// regressions.
 var HotAlloc = &Analyzer{
 	Name:          "hotalloc",
-	Doc:           "forbid allocation sites in functions annotated //crlint:hotpath",
+	Doc:           "forbid allocation sites, wall-clock reads, and rng construction in (or reachable from) functions annotated //crlint:hotpath",
 	SkipTestFiles: true,
 	Run:           hotalloc,
 }
 
 func hotalloc(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !IsHotpath(fd) {
+	g := buildCallGraph(pass)
+	for _, node := range g.order {
+		if !node.hotpath {
+			continue
+		}
+		for _, e := range node.effects {
+			pass.Reportf(e.pos, "hot path (//crlint:hotpath) %s", e.why)
+		}
+		for _, site := range node.calls {
+			if site.callee == node || site.callee.hotpath {
 				continue
 			}
-			checkHotpath(pass, fd)
+			for kind := effectKind(0); kind < numEffectKinds; kind++ {
+				if path, e, ok := g.chainTo(site.callee, kind); ok {
+					pass.Reportf(site.pos,
+						"hot path (//crlint:hotpath) reaches %s via call chain %s: %s at %s",
+						kind.phrase(), chainString(node.name, path), e.short, shortPosition(pass.Fset, e.pos))
+				}
+			}
 		}
 	}
 	return nil
-}
-
-func checkHotpath(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.TypesInfo
-	reuse := reuseBuffers(info, fd)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			switch {
-			case isBuiltin(info, n.Fun, "make"):
-				pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) calls make, which allocates every call; preallocate scratch buffers at construction time")
-			case isBuiltin(info, n.Fun, "new"):
-				pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) calls new, which allocates every call; preallocate at construction time")
-			case isBuiltin(info, n.Fun, "append") && len(n.Args) > 0:
-				if !appendsIntoReuse(info, n.Args[0], reuse) {
-					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) append may grow and allocate; append into a preallocated scratch buffer resliced to [:0]")
-				}
-			default:
-				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
-					if t := info.TypeOf(n); t != nil {
-						if _, isSlice := t.Underlying().(*types.Slice); isSlice {
-							pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) conversion allocates a fresh slice")
-						}
-					}
-				}
-			}
-		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) closure literal allocates (captured variables escape); hoist it out of the hot path")
-			return false
-		case *ast.UnaryExpr:
-			if n.Op.String() == "&" {
-				if _, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) &composite literal allocates; reuse a preallocated value")
-					return false
-				}
-			}
-		case *ast.CompositeLit:
-			if t := info.TypeOf(n); t != nil {
-				switch t.Underlying().(type) {
-				case *types.Slice, *types.Map:
-					pass.Reportf(n.Pos(), "hot path (//crlint:hotpath) slice/map literal allocates; reuse a preallocated buffer")
-				}
-			}
-		}
-		return true
-	})
 }
 
 // reuseBuffers collects the objects assigned from a [...][:0] reslice

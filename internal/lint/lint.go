@@ -17,16 +17,20 @@
 //
 // # Directives
 //
-// Two comment directives tune the suite:
+// Three comment directives tune the suite:
 //
 //	//crlint:allow <rule> <reason...>
 //	//crlint:hotpath
+//	//crlint:spechash
 //
 // An allow directive on the offending line, or on the line directly above
 // it, suppresses diagnostics of the named rule at that site; the reason is
-// mandatory so every exemption is justified in the source. A hotpath
-// directive in a function's doc comment opts the function into the hotalloc
-// analyzer's zero-allocation checks.
+// mandatory so every exemption is justified in the source, and an allow
+// that suppresses nothing is itself diagnosed as stale. A hotpath directive
+// in a function's doc comment opts the function into the hotalloc
+// analyzer's interprocedural zero-allocation checks; a spechash directive
+// in a struct's doc comment opts it into the spechash analyzer's
+// canonical-hash field discipline.
 package lint
 
 import (
@@ -59,7 +63,7 @@ type Analyzer struct {
 // `go vet -vettool` flag discovery, and directive validation all derive from
 // this list.
 func All() []*Analyzer {
-	return []*Analyzer{XRandOnly, NoWallClock, MapOrder, SeedSplit, HotAlloc}
+	return []*Analyzer{XRandOnly, NoWallClock, MapOrder, SeedSplit, HotAlloc, PartWrite, FloatOrder, SpecHash}
 }
 
 // A Package is one type-checked compilation unit ready for analysis.
@@ -124,7 +128,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // diagnostics in deterministic (position, rule) order. Malformed crlint
 // directives are reported under the pseudo-rule "directive" regardless of
 // which analyzers run: a typo in an escape hatch must never silently widen
-// it.
+// it. Allow directives that suppressed nothing are reported as stale under
+// the same pseudo-rule — but only for rules whose analyzer actually ran in
+// this invocation, so running a subset of analyzers never misreports the
+// other rules' exemptions.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	idx := collectDirectives(pkg, &diags)
@@ -148,6 +155,19 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 				Pos:     token.Position{},
 				Rule:    a.Name,
 				Message: fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, e := range idx.entries {
+		if ran[e.rule] && !e.used {
+			diags = append(diags, Diagnostic{
+				Pos:     e.pos,
+				Rule:    "directive",
+				Message: fmt.Sprintf("crlint:allow %s suppresses no diagnostic; delete the stale directive", e.rule),
 			})
 		}
 	}
@@ -195,15 +215,7 @@ const HotpathDirective = "//crlint:hotpath"
 // IsHotpath reports whether the function declaration carries a
 // //crlint:hotpath directive in its doc comment.
 func IsHotpath(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
-		return false
-	}
-	for _, c := range decl.Doc.List {
-		if strings.TrimSpace(c.Text) == HotpathDirective {
-			return true
-		}
-	}
-	return false
+	return hasDirective(decl.Doc, HotpathDirective)
 }
 
 type fileLine struct {
@@ -211,16 +223,27 @@ type fileLine struct {
 	line int
 }
 
-// directiveIndex maps (file, line) to the set of rules allowed there.
+// allowEntry is one well-formed crlint:allow directive; used tracks whether
+// it suppressed at least one diagnostic, for stale-exemption reporting.
+type allowEntry struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+// directiveIndex maps (file, line) to the allow entries registered there.
 type directiveIndex struct {
-	allow map[fileLine]map[string]bool
+	allow   map[fileLine]map[string]*allowEntry
+	entries []*allowEntry // collection order, for deterministic stale reports
 }
 
 // allows reports whether a well-formed allow directive for rule sits on the
-// diagnostic's line or on the line directly above it.
+// diagnostic's line or on the line directly above it, marking the directive
+// as used.
 func (idx *directiveIndex) allows(rule string, pos token.Position) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if idx.allow[fileLine{pos.Filename, line}][rule] {
+		if e := idx.allow[fileLine{pos.Filename, line}][rule]; e != nil {
+			e.used = true
 			return true
 		}
 	}
@@ -235,7 +258,7 @@ func collectDirectives(pkg *Package, diags *[]Diagnostic) *directiveIndex {
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	idx := &directiveIndex{allow: map[fileLine]map[string]bool{}}
+	idx := &directiveIndex{allow: map[fileLine]map[string]*allowEntry{}}
 	report := func(pos token.Pos, format string, args ...any) {
 		*diags = append(*diags, Diagnostic{
 			Pos:     pkg.Fset.Position(pos),
@@ -251,9 +274,9 @@ func collectDirectives(pkg *Package, diags *[]Diagnostic) *directiveIndex {
 				}
 				fields := strings.Fields(strings.TrimPrefix(c.Text, "//"))
 				switch fields[0] {
-				case "crlint:hotpath":
-					// Validity is positional (doc comment of a FuncDecl);
-					// hotalloc simply ignores misplaced ones.
+				case "crlint:hotpath", "crlint:spechash":
+					// Validity is positional (doc comment of a FuncDecl or
+					// struct TypeSpec); the analyzers ignore misplaced ones.
 				case "crlint:allow":
 					if len(fields) < 2 {
 						report(c.Pos(), "crlint:allow needs a rule name and a reason, e.g. //crlint:allow nowallclock progress reporting")
@@ -271,11 +294,13 @@ func collectDirectives(pkg *Package, diags *[]Diagnostic) *directiveIndex {
 					pos := pkg.Fset.Position(c.Pos())
 					key := fileLine{pos.Filename, pos.Line}
 					if idx.allow[key] == nil {
-						idx.allow[key] = map[string]bool{}
+						idx.allow[key] = map[string]*allowEntry{}
 					}
-					idx.allow[key][rule] = true
+					e := &allowEntry{pos: pos, rule: rule}
+					idx.allow[key][rule] = e
+					idx.entries = append(idx.entries, e)
 				default:
-					report(c.Pos(), "unknown crlint directive %q (known: crlint:allow, crlint:hotpath)", fields[0])
+					report(c.Pos(), "unknown crlint directive %q (known: crlint:allow, crlint:hotpath, crlint:spechash)", fields[0])
 				}
 			}
 		}

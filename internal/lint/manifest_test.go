@@ -1,0 +1,111 @@
+package lint_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/lint"
+)
+
+// backtickCell extracts the first `backticked` token from a table cell.
+var backtickCell = regexp.MustCompile("`([^`]+)`")
+
+// parseContractTable extracts rule → analyzer pairs from the DESIGN.md §8
+// "Determinism contract — enforced rules" table: rows whose first cell is a
+// backticked rule id, with the enforcing analyzer backticked in the third
+// cell.
+func parseContractTable(t *testing.T, design string) map[string]string {
+	t.Helper()
+	idx := strings.Index(design, "### Determinism contract — enforced rules")
+	if idx < 0 {
+		t.Fatal("DESIGN.md has no \"Determinism contract — enforced rules\" section")
+	}
+	section := design[idx:]
+	if end := strings.Index(section[1:], "\n### "); end >= 0 {
+		section = section[:end+1]
+	}
+	rules := map[string]string{}
+	for _, line := range strings.Split(section, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		// Leading and trailing empty cells from the outer pipes.
+		if len(cells) < 5 {
+			t.Errorf("malformed contract table row (want 4 columns): %s", line)
+			continue
+		}
+		rule := backtickCell.FindStringSubmatch(cells[1])
+		analyzer := backtickCell.FindStringSubmatch(cells[3])
+		if rule == nil || analyzer == nil {
+			t.Errorf("contract table row lacks backticked rule/analyzer: %s", line)
+			continue
+		}
+		if _, dup := rules[rule[1]]; dup {
+			t.Errorf("contract table documents rule %q twice", rule[1])
+		}
+		rules[rule[1]] = analyzer[1]
+	}
+	return rules
+}
+
+// TestContractManifest proves the DESIGN.md §8 table, the Contracts()
+// manifest, and the analyzer registry agree exactly: every documented rule
+// has an enforcing analyzer, every registered analyzer has a documented
+// contract, and no pairing has drifted.
+func TestContractManifest(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	documented := parseContractTable(t, string(design))
+	if len(documented) == 0 {
+		t.Fatal("no contract rows parsed from DESIGN.md")
+	}
+
+	registered := map[string]bool{}
+	for _, a := range lint.All() {
+		registered[a.Name] = true
+	}
+
+	manifest := map[string]lint.Contract{}
+	for _, c := range lint.Contracts() {
+		if _, dup := manifest[c.ID]; dup {
+			t.Errorf("Contracts() lists %q twice", c.ID)
+		}
+		manifest[c.ID] = c
+		if c.Statement == "" || c.Exemption == "" {
+			t.Errorf("contract %q needs a statement and an exemption policy", c.ID)
+		}
+		if !registered[c.Analyzer] {
+			t.Errorf("contract %q names analyzer %q, which is not in lint.All()", c.ID, c.Analyzer)
+		}
+	}
+
+	// DESIGN.md rows ↔ Contracts() entries, both directions.
+	for id, analyzer := range documented {
+		c, ok := manifest[id]
+		if !ok {
+			t.Errorf("DESIGN.md documents rule %q with no Contracts() entry — a documented contract must have an enforcing analyzer", id)
+			continue
+		}
+		if c.Analyzer != analyzer {
+			t.Errorf("DESIGN.md says rule %q is enforced by %q; Contracts() says %q", id, analyzer, c.Analyzer)
+		}
+	}
+	for id := range manifest {
+		if _, ok := documented[id]; !ok {
+			t.Errorf("Contracts() entry %q has no DESIGN.md table row", id)
+		}
+	}
+
+	// Every registered analyzer enforces a documented contract.
+	for name := range registered {
+		if _, ok := manifest[name]; !ok {
+			t.Errorf("analyzer %q is registered but appears in no contract — document it in DESIGN.md §8 and Contracts()", name)
+		}
+	}
+}

@@ -23,13 +23,17 @@ var wallClockFuncs = map[string]bool{
 // (internal/sim, internal/sinr, internal/core, internal/hitting,
 // internal/experiments, internal/baselines, ...) must be a pure function of
 // its seed, so reruns are bit-identical. Reading the clock anywhere in
-// non-test code is flagged; the legitimate timing sites — progress and
-// elapsed-time reporting in cmd/ and internal/runner — carry explicit
+// non-test code is flagged — the time package's wall-clock entry points
+// (Now, Since, Sleep, After/AfterFunc, Tick, NewTimer/NewTicker, ...) and
+// the context deadline helpers (WithTimeout, WithDeadline, and their Cause
+// variants), which arm a wall-clock timer behind a context. The legitimate
+// timing sites — progress and elapsed-time reporting in cmd/ and
+// internal/runner, request timeouts in the daemon — carry explicit
 // //crlint:allow nowallclock directives so every exemption is visible and
 // justified at the call site.
 var NoWallClock = &Analyzer{
 	Name:          "nowallclock",
-	Doc:           "forbid time.Now/Since/Sleep and other wall-clock reads outside explicitly allowed timing sites",
+	Doc:           "forbid time.Now/Since/Sleep, timer constructors, and context deadline helpers outside explicitly allowed timing sites",
 	SkipTestFiles: true,
 	Run:           nowallclock,
 }
@@ -42,10 +46,15 @@ func nowallclock(pass *Pass) error {
 				return true
 			}
 			fn := pkgFunc(pass.TypesInfo, id)
-			if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+			if fn == nil {
 				return true
 			}
-			pass.Reportf(id.Pos(), "time.%s reads the wall clock, which breaks bit-identical reruns; simulation logic must be seed-deterministic (timing code may carry //crlint:allow nowallclock <reason>)", fn.Name())
+			switch {
+			case fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()]:
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock, which breaks bit-identical reruns; simulation logic must be seed-deterministic (timing code may carry //crlint:allow nowallclock <reason>)", fn.Name())
+			case fn.Pkg().Path() == "context" && contextDeadlineFuncs[fn.Name()]:
+				pass.Reportf(id.Pos(), "context.%s arms a wall-clock deadline, which breaks bit-identical reruns; simulation logic must be seed-deterministic (timeout plumbing may carry //crlint:allow nowallclock <reason>)", fn.Name())
+			}
 			return true
 		})
 	}

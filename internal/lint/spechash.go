@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpecHash guards canonical-hash stability for spec structs (DESIGN.md §8):
+// job identity, the serve result cache, and recorded experiment artifacts
+// all key on the SHA-256 of a spec's canonical JSON, so adding a knob must
+// never change the hash of existing specs. A struct opts in by carrying
+//
+//	//crlint:spechash
+//
+// in its doc comment. For each such struct the analyzer requires:
+//
+//   - every exported, serialized field carries a json tag with omitempty,
+//     so the zero value marshals away and pre-existing specs keep their
+//     bytes — required fields whose tag is deliberately sticky (they are
+//     always present, and adding omitempty now would itself change legacy
+//     hashes) carry //crlint:allow spechash <reason> on the field;
+//   - the package declares the canonical-hash field list
+//     `var <typeName>HashFields = []string{...}` (type name lower-cased at
+//     the first rune) naming exactly the serialized fields by their json
+//     names, so a new field shows up in review as an explicit hash-surface
+//     change and the list is testable against the struct by reflection.
+//
+// Fields tagged json:"-" are not serialized and exempt from both checks;
+// unexported fields are invisible to encoding/json and ignored.
+var SpecHash = &Analyzer{
+	Name:          "spechash",
+	Doc:           "require omitempty tags and a canonical-hash field list on structs annotated //crlint:spechash",
+	SkipTestFiles: true,
+	Run:           spechash,
+}
+
+// SpecHashDirective is the doc-comment directive opting a struct into the
+// spechash analyzer.
+const SpecHashDirective = "//crlint:spechash"
+
+func spechash(pass *Pass) error {
+	lists := hashFieldLists(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, SpecHashDirective) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//crlint:spechash applies to struct types; %s is not a struct", ts.Name.Name)
+					continue
+				}
+				checkSpecStruct(pass, ts, st, lists)
+			}
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether the doc comment contains the exact directive
+// line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// hashList is one package-level `var xHashFields = []string{...}`
+// declaration.
+type hashList struct {
+	pos    token.Pos
+	fields []string
+}
+
+// hashFieldLists collects every package-level *HashFields string-slice
+// declaration by variable name.
+func hashFieldLists(pass *Pass) map[string]*hashList {
+	lists := map[string]*hashList{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasSuffix(name.Name, "HashFields") || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					l := &hashList{pos: name.Pos()}
+					for _, elt := range cl.Elts {
+						if lit, ok := elt.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								l.fields = append(l.fields, s)
+							}
+						}
+					}
+					lists[name.Name] = l
+				}
+			}
+		}
+	}
+	return lists
+}
+
+func checkSpecStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, lists map[string]*hashList) {
+	typeName := ts.Name.Name
+	serialized := map[string]bool{}
+	for _, field := range st.Fields.List {
+		names := field.Names
+		if len(names) == 0 { // embedded field: named by its type
+			if root := rootIdent(field.Type); root != nil {
+				names = []*ast.Ident{root}
+			}
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				continue
+			}
+			jsonName, hasOmitempty, dropped := jsonTagInfo(field.Tag, name.Name)
+			if dropped {
+				continue
+			}
+			serialized[jsonName] = true
+			if !hasOmitempty {
+				pass.Reportf(name.Pos(), "exported field %s.%s needs a json tag with omitempty: optional spec knobs must marshal away when zero so legacy canonical hashes stay stable (required always-present fields may carry //crlint:allow spechash <reason>)", typeName, name.Name)
+			}
+		}
+	}
+
+	listName := lowerFirst(typeName) + "HashFields"
+	list, ok := lists[listName]
+	if !ok {
+		pass.Reportf(ts.Name.Pos(), "hash-canonicalized struct %s (//crlint:spechash) has no canonical-hash field list; declare package-level var %s = []string{...} naming every serialized field", typeName, listName)
+		return
+	}
+	listed := map[string]bool{}
+	for _, f := range list.fields {
+		listed[f] = true
+	}
+	var missing, extra []string
+	for f := range serialized {
+		if !listed[f] {
+			missing = append(missing, f)
+		}
+	}
+	for f := range listed {
+		if !serialized[f] {
+			extra = append(extra, f)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 {
+		pass.Reportf(list.pos, "canonical-hash field list %s does not name serialized field(s) %s of %s; every field that feeds the canonical hash must be listed", listName, quoteJoin(missing), typeName)
+	}
+	if len(extra) > 0 {
+		pass.Reportf(list.pos, "canonical-hash field list %s names %s, which %s not serialized by %s; remove stale entries", listName, quoteJoin(extra), isAre(extra), typeName)
+	}
+}
+
+// jsonTagInfo resolves a field's effective json name, whether its tag
+// carries omitempty, and whether it is dropped from serialization entirely
+// (json:"-").
+func jsonTagInfo(tag *ast.BasicLit, goName string) (jsonName string, hasOmitempty, dropped bool) {
+	jsonName = goName
+	if tag == nil {
+		return jsonName, false, false
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return jsonName, false, false
+	}
+	jt, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return jsonName, false, false
+	}
+	parts := strings.Split(jt, ",")
+	if parts[0] == "-" && len(parts) == 1 {
+		return jsonName, false, true
+	}
+	if parts[0] != "" {
+		jsonName = parts[0]
+	}
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			hasOmitempty = true
+		}
+	}
+	return jsonName, hasOmitempty, false
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+func quoteJoin(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = fmt.Sprintf("%q", n)
+	}
+	return strings.Join(quoted, ", ")
+}
+
+func isAre(s []string) string {
+	if len(s) == 1 {
+		return "is"
+	}
+	return "are"
+}

@@ -1,0 +1,86 @@
+package floatorder
+
+// Positive: a descending loop sums in reverse index order, diverging from
+// the ascending-index reference sum.
+func badDescending(xs []float64) float64 {
+	sum := 0.0
+	for i := len(xs) - 1; i >= 0; i-- {
+		sum += xs[i] // want `descending loop`
+	}
+	return sum
+}
+
+// Positive: i -= step descends too.
+func badDescendingStep(xs []float64) float64 {
+	sum := 0.0
+	for i := len(xs) - 1; i >= 0; i -= 2 {
+		sum += xs[i] // want `descending loop`
+	}
+	return sum
+}
+
+// Positive: accumulation over channel receives depends on goroutine
+// scheduling order.
+func badChannelRange(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		total += v // want `channel receive`
+	}
+	return total
+}
+
+// Positive: a direct receive in the accumulation is the same bug.
+func badDirectReceive(ch chan float64) float64 {
+	var sum float64
+	for i := 0; i < 4; i++ {
+		sum += <-ch // want `channel receive`
+	}
+	return sum
+}
+
+// Negative: ascending-index summation is the contract's canonical order.
+func goodAscending(xs []float64) float64 {
+	sum := 0.0
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i]
+	}
+	return sum
+}
+
+// Negative: integer accumulation is associative; arrival order is harmless.
+func goodIntChannel(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Negative: a descending loop whose accumulation ignores the loop variable
+// adds the same value every pass — order-insensitive.
+func goodDescendingConstant(n int) float64 {
+	sum := 0.0
+	for i := n; i > 0; i-- {
+		sum += 0.5
+	}
+	return sum
+}
+
+// Negative: a per-iteration accumulator declared inside the loop resets
+// every pass, so cross-iteration order cannot leak into it.
+func goodLocalAccumulator(xs []float64, out []float64) {
+	for i := len(xs) - 1; i >= 0; i-- {
+		v := 1.0
+		v *= xs[i]
+		out[i] = v
+	}
+}
+
+// The escape hatch documents a deliberate exception.
+func escapeHatch(xs []float64) float64 {
+	sum := 0.0
+	for i := len(xs) - 1; i >= 0; i-- {
+		sum += xs[i] //crlint:allow floatorder fixture exercising the escape hatch
+	}
+	return sum
+}

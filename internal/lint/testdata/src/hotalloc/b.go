@@ -1,0 +1,84 @@
+package hotalloc
+
+// Transitive cases: //crlint:hotpath constraints propagate through
+// unannotated same-package helpers via the call graph, reporting the full
+// chain at the hot path's call site.
+
+import (
+	"time"
+
+	"fadingcr/internal/xrand"
+)
+
+func allocHelper(n int) []int {
+	return make([]int, n)
+}
+
+func viaHelper(n int) []int {
+	return allocHelper(n)
+}
+
+//crlint:hotpath
+func badChain(n int) []int {
+	return viaHelper(n) // want `reaches an allocation via call chain badChain → viaHelper → allocHelper: make call`
+}
+
+func readsClock() time.Time {
+	return time.Now()
+}
+
+//crlint:hotpath
+func badClockChain() time.Time {
+	return readsClock() // want `reaches a wall-clock read via call chain badClockChain → readsClock: time.Now call`
+}
+
+func makesRNG(seed uint64) {
+	r := xrand.New(seed)
+	_ = r
+}
+
+//crlint:hotpath
+func badRNGChain(seed uint64) {
+	makesRNG(seed) // want `reaches an rng construction via call chain badRNGChain → makesRNG: xrand.New call`
+}
+
+// Direct rng construction in a hot path is flagged without a chain.
+//
+//crlint:hotpath
+func badDirectRNG(seed uint64) {
+	r := xrand.New(seed) // want `calls xrand.New, which constructs a generator`
+	_ = r
+}
+
+// A method value reference is a potential call: the chain is found even
+// though sumVia never syntactically calls grow.
+func (s *scratch) grow() {
+	s.buf = append(s.buf, 0)
+}
+
+//crlint:hotpath
+func sumVia(s *scratch) func() {
+	return s.grow // want `reaches an allocation via call chain sumVia → scratch.grow: growing append`
+}
+
+// Negative: a pure helper chain stays silent.
+func pureHelper(s *scratch, xs []int) []int {
+	out := s.buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//crlint:hotpath
+func goodChain(s *scratch, xs []int) []int {
+	return pureHelper(s, xs)
+}
+
+// Negative: a callee that is itself annotated //crlint:hotpath is checked
+// at its own declaration and not re-reported through callers.
+//
+//crlint:hotpath
+func callsAnnotated(n int) []int {
+	return badMake(n)
+}

@@ -1,6 +1,9 @@
 package nowallclock
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 func reads() time.Time {
 	return time.Now() // want `time.Now reads the wall clock`
@@ -18,4 +21,34 @@ func pure() time.Time {
 
 func escapeHatch() time.Time {
 	return time.Now() //crlint:allow nowallclock fixture timing site
+}
+
+// Timer constructors depend on the wall/monotonic clock exactly like Now.
+func timers(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+	defer t.Stop()
+	select {
+	case <-time.After(time.Millisecond): // want `time.After reads the wall clock`
+	case <-stop:
+	}
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc reads the wall clock`
+}
+
+// Context deadline helpers arm a wall-clock timer behind the context.
+func deadlines(ctx context.Context, t time.Time) {
+	c1, cancel1 := context.WithTimeout(ctx, time.Second) // want `context.WithTimeout arms a wall-clock deadline`
+	defer cancel1()
+	c2, cancel2 := context.WithDeadline(c1, t) // want `context.WithDeadline arms a wall-clock deadline`
+	defer cancel2()
+	_ = c2
+	// Plain cancellation is clock-free and stays legal.
+	c3, cancel3 := context.WithCancel(ctx)
+	defer cancel3()
+	_ = c3
+}
+
+// An allow that suppresses nothing is itself diagnosed as stale.
+func pureWithStaleAllow() time.Time {
+	//crlint:allow nowallclock nothing here reads the clock // want `suppresses no diagnostic`
+	return time.Date(2016, time.July, 25, 0, 0, 0, 0, time.UTC)
 }

@@ -1,0 +1,117 @@
+package partwrite
+
+import "sync"
+
+// Positive: a write into a fixed cell shared by every goroutine the loop
+// launches — last writer wins.
+func badShared(n int, out []int) {
+	for w := 0; w < n; w++ {
+		go func() {
+			out[0] = w // want `write to captured out inside a goroutine launched in a loop is not partitioned`
+		}()
+	}
+}
+
+// Positive: a non-atomic counter bump on captured state.
+func badCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want `non-atomic update of captured total`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Positive: compound accumulation races the same way.
+func badAccumulate(n int, sum *float64, xs []float64) {
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			*sum += xs[w] // want `non-atomic update of captured sum`
+		}(w)
+	}
+}
+
+// Positive: concurrent map writes fault regardless of key partitioning.
+func badMap(n int, m map[int]int) {
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			m[w] = w * w // want `write to captured map m inside a goroutine launched in a loop is a concurrent map write`
+		}(w)
+	}
+}
+
+// Negative: the canonical worker-pool shape — each goroutine writes only
+// the cell indexed by its own worker parameter (tile t → worker t mod W).
+func goodPartition(workers int, out []int) {
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			out[w] = w * w
+		}(w)
+	}
+}
+
+// Negative: Go ≥1.22 gives each iteration its own loop variable, so the
+// captured index is goroutine-owned.
+func goodLoopVar(out []int) {
+	for i := range out {
+		go func() {
+			out[i] = i * i
+		}()
+	}
+}
+
+// Negative: an index received from a channel inside the goroutine is
+// goroutine-owned — the work-stealing shape internal/runner uses.
+func goodChannelIndex(out []float64, idx chan int) {
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := range idx {
+				out[i] = float64(i)
+			}
+		}()
+	}
+}
+
+// Negative: a single goroutine launched outside any loop (the
+// wait-then-close join idiom) has no concurrent siblings.
+func goodJoin(wg *sync.WaitGroup, done chan struct{}, flag *bool) {
+	go func() {
+		wg.Wait()
+		*flag = true
+		close(done)
+	}()
+}
+
+// Negative: a mutex-guarded closure is left to the race detector.
+func goodLocked(n int, mu *sync.Mutex, total *int) {
+	for w := 0; w < n; w++ {
+		go func() {
+			mu.Lock()
+			*total += 1
+			mu.Unlock()
+		}()
+	}
+}
+
+// Negative: channel sends are the sanctioned way out of a goroutine.
+func goodChannelSend(n int, results chan int) {
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			results <- w * w
+		}(w)
+	}
+}
+
+// The escape hatch documents a deliberate exception.
+func escapeHatch(n int, out []int) {
+	for w := 0; w < n; w++ {
+		go func() {
+			out[0]++ //crlint:allow partwrite fixture exercising the escape hatch
+		}()
+	}
+}

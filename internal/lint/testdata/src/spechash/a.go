@@ -1,0 +1,57 @@
+package spechash
+
+// Positive: a field without omitempty silently changes legacy hashes when
+// added, and an untagged field marshals under its Go name.
+
+//crlint:spechash
+type BadSpec struct {
+	Name  string `json:"name,omitempty"`
+	Count int    `json:"count"` // want `exported field BadSpec.Count needs a json tag with omitempty`
+	Extra bool   // want `exported field BadSpec.Extra needs a json tag with omitempty`
+	Skip  string `json:"-"`
+	inner int
+}
+
+var badSpecHashFields = []string{"name", "count", "Extra", "stale"} // want `names "stale", which is not serialized by BadSpec`
+
+// Positive: an annotated struct with no canonical-hash field list at all.
+
+//crlint:spechash
+type NoListSpec struct { // want `has no canonical-hash field list`
+	A int `json:"a,omitempty"`
+}
+
+// Positive: a serialized field missing from the list.
+
+//crlint:spechash
+type MissingFieldSpec struct {
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+}
+
+var missingFieldSpecHashFields = []string{"a"} // want `does not name serialized field\(s\) "b" of MissingFieldSpec`
+
+// Negative: a compliant struct — omitempty everywhere except an explicitly
+// allowed required field, a complete field list, and json:"-" exclusions.
+
+//crlint:spechash
+type GoodSpec struct {
+	Kind string `json:"kind,omitempty"`
+	//crlint:allow spechash seed is always serialized; omitempty would change legacy hashes
+	Seed    uint64 `json:"seed"`
+	N       int    `json:"n,omitempty"`
+	scratch []byte
+	Cache   map[string]string `json:"-"`
+}
+
+var goodSpecHashFields = []string{"kind", "seed", "n"}
+
+// Negative: unannotated structs owe spechash nothing.
+type Plain struct {
+	X int `json:"x"`
+}
+
+func use() (BadSpec, NoListSpec, MissingFieldSpec, GoodSpec, Plain, [][]string) {
+	return BadSpec{inner: 0}, NoListSpec{}, MissingFieldSpec{}, GoodSpec{scratch: nil}, Plain{},
+		[][]string{badSpecHashFields, missingFieldSpecHashFields, goodSpecHashFields}
+}

@@ -174,7 +174,7 @@ func Run[T any](ctx context.Context, trials int, fn func(ctx context.Context, tr
 	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout) //crlint:allow nowallclock run timeout bounds wall time only; trial results never observe it
 		defer cancel()
 	}
 	mRuns.Inc()

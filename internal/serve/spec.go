@@ -22,6 +22,12 @@ import (
 // Because every job derives all randomness from (Spec, Seed) via the
 // runner.TrialSeeds contract, a normalized Spec fully determines the
 // result body, byte for byte — the property the result cache is keyed on.
+//
+// The spechash directive below holds this struct to the canonical-hash
+// discipline (DESIGN.md §8): new fields need json omitempty tags so legacy
+// job hashes stay stable, and must be added to specHashFields.
+//
+//crlint:spechash
 type Spec struct {
 	// Kind is "experiment" or "sim". Normalization infers it from which
 	// of Experiment/Sim is set, so clients may omit it.
@@ -33,6 +39,7 @@ type Spec struct {
 	Sim *SimSpec `json:"sim,omitempty"`
 	// Seed is the master seed (runner.TrialSeeds derives every trial's
 	// randomness from it). Omitting it means seed 0, a valid seed.
+	//crlint:allow spechash seed is always serialized; adding omitempty now would change every legacy seed-0 hash
 	Seed uint64 `json:"seed"`
 	// Trials is the trial count: for sim jobs the number of independent
 	// runs (default 1); for experiment jobs the trials per data point
@@ -63,13 +70,19 @@ type Spec struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-// SimSpec is the scenario of a sim job, mirroring crsim's flags.
+// SimSpec is the scenario of a sim job, mirroring crsim's flags. It feeds
+// the same canonical hash as Spec, so it follows the same field discipline.
+//
+//crlint:spechash
 type SimSpec struct {
 	// N is the number of nodes.
+	//crlint:allow spechash n is required (Validate rejects 0) and always serialized in legacy hashes
 	N int `json:"n"`
 	// Deploy is the deployment name (catalog.Deployments).
+	//crlint:allow spechash deploy is required and always serialized in legacy hashes
 	Deploy string `json:"deploy"`
 	// Algo is the algorithm name (catalog.Algorithms).
+	//crlint:allow spechash algo is required and always serialized in legacy hashes
 	Algo string `json:"algo"`
 	// Channel is the channel name (catalog.Channels); default "sinr".
 	Channel string `json:"channel,omitempty"`
@@ -80,6 +93,21 @@ type SimSpec struct {
 	// catalog.DefaultMaxRounds(N).
 	MaxRounds int `json:"max_rounds,omitempty"`
 }
+
+// The canonical-hash field lists: every field (by json name) that feeds
+// Spec.Hash through CanonicalJSON. The spechash analyzer keeps each list in
+// exact correspondence with its struct, and TestSpecHashFieldManifest
+// cross-checks them against the struct tags by reflection — so widening the
+// hash surface is always an explicit, reviewed change in two places.
+var (
+	specHashFields = []string{
+		"kind", "experiment", "sim", "seed", "trials", "quick", "gaincache",
+		"farfield_eps", "sinr_parallel", "format", "trace",
+	}
+	simSpecHashFields = []string{
+		"n", "deploy", "algo", "channel", "p", "max_rounds",
+	}
+)
 
 // Job kind names.
 const (

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"reflect"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -138,6 +140,49 @@ func TestValidateRejections(t *testing.T) {
 			t.Errorf("%s: accepted", tc.name)
 		} else if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// serializedJSONNames lists the json names a struct type marshals, in field
+// order, skipping unexported and json:"-" fields — the ground truth the
+// canonical-hash field lists must match.
+func serializedJSONNames(t *testing.T, typ reflect.Type) []string {
+	t.Helper()
+	var names []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		switch tag {
+		case "-":
+			continue
+		case "":
+			t.Errorf("%s.%s has no json name; the canonical form must not depend on Go identifiers", typ.Name(), f.Name)
+			continue
+		}
+		names = append(names, tag)
+	}
+	return names
+}
+
+// TestSpecHashFieldManifest cross-checks the canonical-hash field lists
+// (which the spechash analyzer holds in correspondence with the struct
+// declarations) against the live struct tags by reflection, so the analyzer
+// and the runtime can never disagree about what feeds Spec.Hash.
+func TestSpecHashFieldManifest(t *testing.T) {
+	cases := []struct {
+		typ  reflect.Type
+		list []string
+	}{
+		{reflect.TypeOf(Spec{}), specHashFields},
+		{reflect.TypeOf(SimSpec{}), simSpecHashFields},
+	}
+	for _, tc := range cases {
+		if got := serializedJSONNames(t, tc.typ); !slices.Equal(got, tc.list) {
+			t.Errorf("%sHashFields = %v, but %s serializes %v", strings.ToLower(tc.typ.Name()[:1])+tc.typ.Name()[1:], tc.list, tc.typ.Name(), got)
 		}
 	}
 }

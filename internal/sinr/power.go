@@ -136,6 +136,7 @@ func (c *PowerChannel) Deliver(tx []bool, recv []int) {
 	}
 	n := len(c.pts)
 	if c.par > 1 {
+		//crlint:allow hotalloc deliverParallel's worker closures are the documented O(workers) per-round cost of the opt-in parallel engine
 		c.deliverParallel(txList, tx)
 	} else {
 		switch {

@@ -137,6 +137,7 @@ func (c *RayleighChannel) Deliver(tx []bool, recv []int) {
 	c.round++
 	txList := c.scratch.indices(tx)
 	if c.sub {
+		//crlint:allow hotalloc deliverSubstream's worker closures are the documented O(workers) per-round cost of the opt-in parallel engine
 		c.deliverSubstream(roundSeed, txList, tx, recv)
 		return
 	}
