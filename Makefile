@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short vet lint bench results obs-smoke trace-smoke serve-smoke clean
+.PHONY: all build test test-short vet lint bench results obs-smoke trace-smoke serve-smoke shard-smoke clean
 
 all: build vet lint test
 
@@ -69,6 +69,12 @@ trace-smoke:
 # serves bytes identical to the cold run, and drain gracefully on SIGTERM.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Mirror of CI's shard-smoke job: sharded runs (crbench -shards, crshard over
+# two crserve daemons, and a run that loses a daemon and re-dispatches) must
+# all be byte-identical to the unsharded run.
+shard-smoke:
+	./scripts/shard-smoke.sh
 
 clean:
 	go clean ./...

@@ -25,6 +25,7 @@ import (
 	"fadingcr/internal/cli"
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/obs"
+	"fadingcr/internal/shard"
 	"fadingcr/internal/sinr"
 	"fadingcr/internal/trace"
 )
@@ -56,6 +57,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		parallel     = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per trial loop (results are identical at any value)")
 		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		gaincache    = fs.String("gaincache", "auto", "SINR gain-cache engine: auto|on|off (results are identical in every mode)")
+		shards       = fs.Int("shards", 1, "split every trial loop into this many shards and run them through the shard coordinator (output is byte-identical at any count)")
 		farfieldEps  = fs.Float64("farfield-eps", 0, "ε far-field pruning for SINR delivery (0 = exact; ε > 0 trades a bounded one-sided reception error for speed)")
 		sinrParallel = fs.Int("sinr-parallel", 0, "intra-round SINR Deliver workers (0/1 sequential; deterministic channels are identical at any value)")
 
@@ -141,6 +143,45 @@ func run(args []string, stdout io.Writer) (err error) {
 			return err
 		}
 	}
+	if *shards > 1 {
+		// Sharded run: the coordinator executes every trial-loop shard
+		// through local workers and the assembler re-renders the tables.
+		// Byte-identical to the unsharded path at any shard count (timing
+		// lines go to stderr in both paths for exactly this reason).
+		if cfg.Trace != nil {
+			return cli.Usagef("-trace-dir cannot be combined with -shards")
+		}
+		req := shard.Request{
+			Spec: experiments.Spec{
+				IDs:          *ids,
+				Seed:         *seed,
+				Trials:       *trials,
+				Quick:        *quick,
+				GainCache:    *gaincache,
+				FarFieldEps:  *farfieldEps,
+				SINRParallel: *sinrParallel,
+			},
+			Shards: *shards,
+		}
+		coord := shard.Coordinator{
+			Executors: []shard.Executor{&shard.Local{Parallelism: *parallel}},
+			Log:       os.Stderr,
+		}
+		runStart := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
+		merged, err := coord.Run(ctx, req)
+		if err != nil {
+			return err
+		}
+		if err := shard.Assemble(ctx, w, req, merged, *format == "markdown"); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crbench: %d experiment(s), %d shard(s) in %v (parallelism %d, gain cache %s: %s)\n",
+			len(selected), *shards, time.Since(runStart).Round(time.Millisecond), effective, //crlint:allow nowallclock CLI elapsed-time summary
+			*gaincache, sinr.ReadGainCacheStats())
+		return nil
+	} else if *shards < 1 {
+		return cli.Usagef("-shards must be >= 1 (got %d)", *shards)
+	}
 	runStart := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 	for _, e := range selected {
 		start := time.Now() //crlint:allow nowallclock per-experiment elapsed-time line
@@ -148,19 +189,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Fprintf(w, "\n==== %s — %s ====\n", e.ID, e.Title)
-		fmt.Fprintf(w, "Claim: %s\n\n", e.Claim)
-		for _, tab := range tables {
-			if *format == "markdown" {
-				fmt.Fprintln(w, tab.Markdown())
-			} else {
-				fmt.Fprintln(w, tab.Text())
-			}
+		if err := experiments.RenderTables(w, e, tables, *format == "markdown"); err != nil {
+			return err
 		}
+		// Timing goes to stderr so table output is byte-identical run to
+		// run and across shard counts.
 		//crlint:allow nowallclock per-experiment elapsed-time line
-		fmt.Fprintf(w, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(w, "\n%d experiment(s) in %v (parallelism %d, gain cache %s: %s)\n",
+	fmt.Fprintf(os.Stderr, "\n%d experiment(s) in %v (parallelism %d, gain cache %s: %s)\n",
 		len(selected), time.Since(runStart).Round(time.Millisecond), effective, //crlint:allow nowallclock CLI elapsed-time summary
 		*gaincache, sinr.ReadGainCacheStats())
 	if cfg.Trace != nil {

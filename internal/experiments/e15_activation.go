@@ -82,7 +82,8 @@ func e15Embedding(cfg Config) (*table.Table, error) {
 	// as (a) two activated nodes on the fading network and (b) the
 	// abstract two-player game.
 	type paired struct {
-		embedded, abstract float64
+		Embedded float64 `json:"embedded"`
+		Abstract float64 `json:"abstract"`
 	}
 	outcomes, err := runTrials(cfg, trials, func(trial int) (paired, error) {
 		dseed := xrand.Split(cfg.Seed, uint64(trial)*3)
@@ -117,15 +118,15 @@ func e15Embedding(cfg Config) (*table.Table, error) {
 		if !two.Won {
 			return paired{}, fmt.Errorf("E15 two-player trial %d unsolved", trial)
 		}
-		return paired{embedded: float64(res.Rounds), abstract: float64(two.Rounds)}, nil
+		return paired{Embedded: float64(res.Rounds), Abstract: float64(two.Rounds)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var embedded, abstract []float64
 	for _, o := range outcomes {
-		embedded = append(embedded, o.embedded)
-		abstract = append(abstract, o.abstract)
+		embedded = append(embedded, o.Embedded)
+		abstract = append(abstract, o.Abstract)
 	}
 	sort.Float64s(embedded)
 	sort.Float64s(abstract)

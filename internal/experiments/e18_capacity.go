@@ -33,7 +33,8 @@ func e18() Experiment {
 				"n", "mean capacity", "capacity/n", "rounds to serve all (mean)", "collision channel")
 			for _, n := range ns {
 				type capacity struct {
-					links, rounds float64
+					Links  float64 `json:"links"`
+					Rounds float64 `json:"rounds"`
 				}
 				outcomes, err := runTrials(cfg, trials, func(trial int) (capacity, error) {
 					d, err := geom.UniformDisk(xrand.Split(cfg.Seed, uint64(trial)), n)
@@ -51,15 +52,15 @@ func e18() Experiment {
 					if err != nil {
 						return capacity{}, fmt.Errorf("E18 n=%d schedule-all: %w", n, err)
 					}
-					return capacity{links: float64(len(chosen)), rounds: float64(len(rounds))}, nil
+					return capacity{Links: float64(len(chosen)), Rounds: float64(len(rounds))}, nil
 				})
 				if err != nil {
 					return nil, err
 				}
 				var caps, sched []float64
 				for _, o := range outcomes {
-					caps = append(caps, o.links)
-					sched = append(sched, o.rounds)
+					caps = append(caps, o.Links)
+					sched = append(sched, o.Rounds)
 				}
 				meanCap := stats.Mean(caps)
 				result.AddRow(table.Int(n),

@@ -36,8 +36,8 @@ func e4() Experiment {
 			// suffix-max class sizes; the (order-sensitive) aggregation
 			// below stays sequential in trial order.
 			type traced struct {
-				rounds int
-				suffix [][]int
+				Rounds int     `json:"rounds"`
+				Suffix [][]int `json:"suffix"`
 			}
 			outcomes, err := runTrials(cfg, trials, func(trial int) (traced, error) {
 				d, err := geom.ExponentialChain(xrand.Split(cfg.Seed, uint64(trial)), m, pairs)
@@ -57,14 +57,14 @@ func e4() Experiment {
 				if !res.Solved {
 					return traced{}, fmt.Errorf("E4 trial %d unsolved", trial)
 				}
-				return traced{rounds: res.Rounds, suffix: an.MaxClassSizes()}, nil
+				return traced{Rounds: res.Rounds, Suffix: an.MaxClassSizes()}, nil
 			})
 			if err != nil {
 				return nil, err
 			}
 			for _, o := range outcomes {
-				suffix := o.suffix
-				solveRounds = append(solveRounds, o.rounds)
+				suffix := o.Suffix
+				solveRounds = append(solveRounds, o.Rounds)
 				for i := 0; i < m && i < len(suffix[0]); i++ {
 					initial := suffix[0][i]
 					if initial == 0 {
@@ -81,7 +81,7 @@ func e4() Experiment {
 						}
 					}
 					if cs.emptyRound < 0 {
-						cs.emptyRound = o.rounds // emptied by the solving round
+						cs.emptyRound = o.Rounds // emptied by the solving round
 					}
 					if cs.halfRound < 0 {
 						cs.halfRound = cs.emptyRound
@@ -91,7 +91,7 @@ func e4() Experiment {
 					sums[i].emptyRound += cs.emptyRound
 					counts[i]++
 				}
-				if seg := fitEnvelopeSegment(suffix, o.rounds); seg > worstSegment {
+				if seg := fitEnvelopeSegment(suffix, o.Rounds); seg > worstSegment {
 					worstSegment = seg
 				}
 			}
@@ -181,8 +181,8 @@ func e5() Experiment {
 			perClass := map[int]*agg{}
 
 			type cell struct {
-				class int
-				frac  float64
+				Class int     `json:"class"`
+				Frac  float64 `json:"frac"`
 			}
 			outcomes, err := runTrials(cfg, trials, func(trial int) ([]cell, error) {
 				d, err := geom.UniformDisk(xrand.Split(cfg.Seed, uint64(trial)), n)
@@ -209,7 +209,7 @@ func e5() Experiment {
 							good++
 						}
 					}
-					cells = append(cells, cell{class: i, frac: float64(good) / float64(size)})
+					cells = append(cells, cell{Class: i, Frac: float64(good) / float64(size)})
 				}
 				return cells, nil
 			})
@@ -218,17 +218,17 @@ func e5() Experiment {
 			}
 			for _, cells := range outcomes {
 				for _, c := range cells {
-					a := perClass[c.class]
+					a := perClass[c.Class]
 					if a == nil {
 						a = &agg{minFrac: 2}
-						perClass[c.class] = a
+						perClass[c.Class] = a
 					}
 					a.cells++
-					a.fracSum += c.frac
-					if c.frac < a.minFrac {
-						a.minFrac = c.frac
+					a.fracSum += c.Frac
+					if c.Frac < a.minFrac {
+						a.minFrac = c.Frac
 					}
-					if c.frac >= 0.5 {
+					if c.Frac >= 0.5 {
 						a.holds++
 					}
 				}

@@ -69,6 +69,12 @@ type Config struct {
 	// each loop boundary. Purely observational: results are byte-identical
 	// with it set or nil.
 	Progress func(runner.Progress)
+	// Shard, when non-nil, reroutes every trial loop through the
+	// distributed-sharding protocol (internal/shard): in worker mode only
+	// the shard's contiguous slice of each loop's global trial range is
+	// executed, and in assemble mode trial values are decoded from merged
+	// shard results instead of being computed. See ShardScope.
+	Shard *ShardScope
 }
 
 // sinrOptions translates the engine knobs into channel options.
@@ -89,6 +95,9 @@ func (c Config) ctx() context.Context {
 // sequential loops it replaced: the first per-trial error (in trial
 // order) aborts the experiment.
 func runTrials[T any](cfg Config, trials int, fn func(trial int) (T, error)) ([]T, error) {
+	if cfg.Shard != nil {
+		return runTrialsSharded(cfg, trials, fn)
+	}
 	res, err := runner.Run(cfg.ctx(), trials,
 		func(_ context.Context, trial int) (T, error) { return fn(trial) },
 		runner.Options[T]{Parallelism: cfg.Parallelism, Progress: cfg.Progress})
@@ -170,10 +179,13 @@ func channelFor(cfg Config, p sinr.Params, d *geom.Deployment) (*sinr.Channel, e
 	return sinr.ChannelFor(p, d, opts...)
 }
 
-// trialOutcome is one execution's contribution to a trial loop.
+// trialOutcome is one execution's contribution to a trial loop. The fields
+// are exported with json tags because sharded runs ship trial values across
+// the process boundary as JSON (encoding/json round-trips float64 exactly,
+// so the wire form is lossless).
 type trialOutcome struct {
-	rounds float64
-	solved bool
+	Rounds float64 `json:"rounds"`
+	Solved bool    `json:"solved"`
 }
 
 // channelName maps a channel value to its trace header name.
@@ -238,7 +250,7 @@ func runTrialOutcomes(
 				return trialOutcome{}, fmt.Errorf("trial %d trace: %w", trial, err)
 			}
 		}
-		return trialOutcome{rounds: float64(res.Rounds), solved: res.Solved}, nil
+		return trialOutcome{Rounds: float64(res.Rounds), Solved: res.Solved}, nil
 	})
 }
 
@@ -259,10 +271,10 @@ func trialRounds(
 	}
 	rounds = make([]float64, 0, trials)
 	for _, o := range outcomes {
-		if !o.solved {
+		if !o.Solved {
 			unsolved++
 		}
-		rounds = append(rounds, o.rounds)
+		rounds = append(rounds, o.Rounds)
 	}
 	return rounds, unsolved, nil
 }
@@ -285,7 +297,7 @@ func trialStats(
 	}
 	agg := &runner.Aggregator{}
 	for _, o := range outcomes {
-		agg.Observe(o.rounds, o.solved)
+		agg.Observe(o.Rounds, o.Solved)
 	}
 	return agg, nil
 }

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fadingcr/internal/table"
+)
+
+// RenderTables writes one experiment's header, claim, and result tables in
+// the canonical crbench layout. crbench, crshard, and the shard assembler
+// all render through this one function, so a sharded run's stdout can be
+// byte-identical to an unsharded one (timing lines, which would break that
+// identity, go to stderr in the CLIs and never through here).
+func RenderTables(w io.Writer, e Experiment, tables []*table.Table, markdown bool) error {
+	if _, err := fmt.Fprintf(w, "\n==== %s — %s ====\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Claim: %s\n\n", e.Claim); err != nil {
+		return err
+	}
+	for _, tab := range tables {
+		var err error
+		if markdown {
+			_, err = fmt.Fprintln(w, tab.Markdown())
+		} else {
+			_, err = fmt.Fprintln(w, tab.Text())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -119,6 +119,21 @@ func (e *LineEncoder) ElemFloat(v float64) {
 	e.appendFloat(v)
 }
 
+// Raw appends "key":v where v is pre-encoded JSON, copied verbatim. The
+// caller guarantees v is one complete, valid JSON value (the
+// json.RawMessage contract); the encoder does not re-validate it.
+func (e *LineEncoder) Raw(key string, v []byte) {
+	e.key(key)
+	e.buf = append(e.buf, v...)
+}
+
+// ElemRaw appends a pre-encoded JSON value as a bare array element, under
+// the same contract as Raw.
+func (e *LineEncoder) ElemRaw(v []byte) {
+	e.elem()
+	e.buf = append(e.buf, v...)
+}
+
 // ArrEnd closes the innermost open array.
 func (e *LineEncoder) ArrEnd() {
 	e.buf = append(e.buf, ']')

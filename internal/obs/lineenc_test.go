@@ -58,6 +58,29 @@ func TestLineEncoderShapes(t *testing.T) {
 	}
 }
 
+func TestLineEncoderRaw(t *testing.T) {
+	var b strings.Builder
+	e := NewLineEncoder(&b)
+	e.Begin("shard")
+	e.Raw("summary", []byte(`{"n":3,"mean":1.5}`))
+	e.Arr("values")
+	e.ElemRaw([]byte(`{"rounds":7,"solved":true}`))
+	e.ElemRaw([]byte(`42`))
+	e.ArrEnd()
+	if err := e.End(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(b.String())
+	want := `{"event":"shard","summary":{"n":3,"mean":1.5},"values":[{"rounds":7,"solved":true},42]}`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	var v map[string]any
+	if err := json.Unmarshal([]byte(got), &v); err != nil {
+		t.Errorf("Raw line is not valid JSON: %v", err)
+	}
+}
+
 func TestLineEncoderNonFiniteFloats(t *testing.T) {
 	var b strings.Builder
 	e := NewLineEncoder(&b)

@@ -141,10 +141,16 @@ func (j *Job) ResultIfDone() (*Result, bool) {
 // Subscribe registers a capacity-1, latest-wins update channel and returns
 // it with its unsubscribe function. Slow consumers only ever delay their
 // own view: a new update displaces an unconsumed one instead of blocking
-// the job.
+// the job — and never lose the terminal event, because finish's
+// notification is the job's last (nothing later can displace it) and a
+// subscriber that arrives after the job is already terminal has the
+// terminal update seeded into its channel here.
 func (j *Job) Subscribe() (<-chan Update, func()) {
 	ch := make(chan Update, 1)
 	j.mu.Lock()
+	if j.state.Terminal() {
+		ch <- Update{State: j.state, Progress: j.progress}
+	}
 	j.subs = append(j.subs, ch)
 	j.mu.Unlock()
 	unsub := func() {

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"testing"
+)
+
+// drainLatest consumes every buffered update and returns the last one seen.
+func drainLatest(ch <-chan Update) (Update, bool) {
+	var last Update
+	var any bool
+	for {
+		select {
+		case u := <-ch:
+			last, any = u, true
+		default:
+			return last, any
+		}
+	}
+}
+
+// TestSubscribeAfterTerminalSeesTerminalUpdate pins the streaming protocol's
+// core guarantee: a subscriber that arrives after the job finished still
+// receives the terminal event (seeded at Subscribe time), so a stream client
+// can never hang waiting for a state change that already happened.
+func TestSubscribeAfterTerminalSeesTerminalUpdate(t *testing.T) {
+	j := newJob("j1", simSpec().Normalized(), "h")
+	j.finish(StateDone, &Result{Body: []byte("x")}, "", false)
+
+	ch, unsub := j.Subscribe()
+	defer unsub()
+	select {
+	case u := <-ch:
+		if u.State != StateDone {
+			t.Errorf("seeded update state = %s, want done", u.State)
+		}
+	default:
+		t.Fatal("late subscriber got no seeded terminal update")
+	}
+}
+
+// TestTerminalUpdateSurvivesProgressFlood pins that the terminal
+// notification is never displaced: the channels are capacity-1 latest-wins,
+// but finish's notification is the job's last (setProgress refuses terminal
+// jobs), so however many progress updates went unread, the final readable
+// update is terminal.
+func TestTerminalUpdateSurvivesProgressFlood(t *testing.T) {
+	j := newJob("j1", simSpec().Normalized(), "h")
+	j.claimRunning(func() {})
+	ch, unsub := j.Subscribe()
+	defer unsub()
+
+	// Never read during the flood: every update displaces the previous.
+	for i := 0; i < 100; i++ {
+		j.setProgress(Progress{Done: i, Total: 100})
+	}
+	j.finish(StateDone, &Result{Body: []byte("x")}, "", false)
+	// A post-terminal progress write must be a no-op.
+	j.setProgress(Progress{Done: 999, Total: 100})
+
+	last, any := drainLatest(ch)
+	if !any {
+		t.Fatal("subscriber channel empty after flood + finish")
+	}
+	if last.State != StateDone {
+		t.Errorf("last update state = %s, want done", last.State)
+	}
+	if last.Progress.Done == 999 {
+		t.Error("progress mutated after the terminal state")
+	}
+}
+
+// TestUnsubscribeStopsDelivery pins that an unsubscribed channel is removed
+// from the fanout list.
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	j := newJob("j1", simSpec().Normalized(), "h")
+	j.claimRunning(func() {})
+	ch, unsub := j.Subscribe()
+	drainLatest(ch) // discard the claimRunning notification
+	unsub()
+	j.setProgress(Progress{Done: 1, Total: 2})
+	if _, any := drainLatest(ch); any {
+		t.Error("unsubscribed channel still received updates")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fadingcr/internal/catalog"
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/runner"
+	"fadingcr/internal/shard"
 	"fadingcr/internal/sim"
 	"fadingcr/internal/sinr"
 	"fadingcr/internal/xrand"
@@ -33,8 +34,13 @@ func runSpec(ctx context.Context, spec Spec, parallelism int, progress func(Prog
 }
 
 // runExperimentSpec renders the selected experiments' tables, like crbench
-// minus the timing lines (which would break byte-identity).
+// minus the timing lines (which would break byte-identity). With Shard set
+// the job is one worker of a distributed run: it executes only its shard's
+// trial ranges and returns the canonical shard wire stream instead.
 func runExperimentSpec(ctx context.Context, spec Spec, parallelism int, progress func(Progress)) (*Result, error) {
+	if spec.Shard != nil {
+		return runShardSpec(ctx, spec, parallelism, progress)
+	}
 	selected, cfg, err := experiments.ConfigFromSpec(spec.experimentSpec())
 	if err != nil {
 		return nil, err
@@ -63,6 +69,25 @@ func runExperimentSpec(ctx context.Context, spec Spec, parallelism int, progress
 		}
 	}
 	return &Result{Body: buf.Bytes(), ContentType: "text/plain; charset=utf-8"}, nil
+}
+
+// runShardSpec executes one shard of a distributed experiment run
+// (internal/shard.RunWorker) and returns its NDJSON wire stream. The body
+// is a pure function of the normalized spec like every other job body, so
+// the result cache serves re-dispatched shards byte-identically.
+func runShardSpec(ctx context.Context, spec Spec, parallelism int, progress func(Progress)) (*Result, error) {
+	var rp func(runner.Progress)
+	if progress != nil {
+		rp = func(p runner.Progress) {
+			progress(Progress{Done: p.Done, Total: p.Total, Solved: p.Solved, Errors: p.Errors})
+		}
+	}
+	req := shard.Request{Spec: spec.experimentSpec(), Shards: spec.Shard.Count}
+	body, err := shard.RunWorker(ctx, req, spec.Shard.Index, parallelism, rp)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Body: body, ContentType: "application/x-ndjson"}, nil
 }
 
 // simTrial is one trial's outcome in a sim job's result body.

@@ -68,6 +68,28 @@ type Spec struct {
 	// Trace, on a single-trial sim job, includes the per-round event
 	// trace in the result body.
 	Trace bool `json:"trace,omitempty"`
+	// Shard, on an experiment job, restricts execution to one shard of a
+	// distributed run: only the trials of shard Index of Count (contiguous
+	// global ranges per runner.ShardRange) execute, and the result body is
+	// the canonical shard wire stream (internal/shard) instead of rendered
+	// tables. The omitempty tag keeps every legacy job hash stable, and
+	// each (index, count) hashes differently, so shard bodies can never
+	// collide with table bodies — or with each other — in the result
+	// cache.
+	Shard *ShardRef `json:"shard,omitempty"`
+}
+
+// ShardRef identifies one shard of a distributed experiment run. It feeds
+// the canonical hash like SimSpec, so it follows the same field discipline.
+//
+//crlint:spechash
+type ShardRef struct {
+	// Index is the shard index, in [0, Count).
+	//crlint:allow spechash index is required and 0 is a valid value that must always serialize
+	Index int `json:"index"`
+	// Count is the run's total shard count.
+	//crlint:allow spechash count is required on every shard job; there is no legacy zero form to preserve
+	Count int `json:"count"`
 }
 
 // SimSpec is the scenario of a sim job, mirroring crsim's flags. It feeds
@@ -102,10 +124,13 @@ type SimSpec struct {
 var (
 	specHashFields = []string{
 		"kind", "experiment", "sim", "seed", "trials", "quick", "gaincache",
-		"farfield_eps", "sinr_parallel", "format", "trace",
+		"farfield_eps", "sinr_parallel", "format", "trace", "shard",
 	}
 	simSpecHashFields = []string{
 		"n", "deploy", "algo", "channel", "p", "max_rounds",
+	}
+	shardRefHashFields = []string{
+		"index", "count",
 	}
 )
 
@@ -123,6 +148,8 @@ const (
 	MaxSimNodes = 1 << 17
 	// MaxTrials bounds Spec.Trials for both job kinds.
 	MaxTrials = 1 << 20
+	// MaxShards bounds ShardRef.Count.
+	MaxShards = 1 << 12
 )
 
 // Normalized returns a copy with defaults made explicit and the Kind
@@ -134,6 +161,10 @@ func (s Spec) Normalized() Spec {
 	if n.Sim != nil {
 		sim := *n.Sim
 		n.Sim = &sim
+	}
+	if n.Shard != nil {
+		shard := *n.Shard
+		n.Shard = &shard
 	}
 	if n.Kind == "" {
 		switch {
@@ -149,7 +180,13 @@ func (s Spec) Normalized() Spec {
 	}
 	switch n.Kind {
 	case KindExperiment:
-		if n.Format == "" {
+		if n.Shard != nil {
+			// A shard job's body is the wire stream, never rendered
+			// tables, so Format must not perturb its canonical form (a
+			// format-carrying submission would miss the cache for no
+			// reason).
+			n.Format = ""
+		} else if n.Format == "" {
 			n.Format = "text"
 		}
 		if n.Experiment == "" {
@@ -181,7 +218,14 @@ func (s Spec) Validate() error {
 		if _, _, err := experiments.ConfigFromSpec(s.experimentSpec()); err != nil {
 			return err
 		}
-		if s.Format != "text" && s.Format != "markdown" {
+		if s.Shard != nil {
+			if s.Shard.Count < 1 || s.Shard.Count > MaxShards {
+				return fmt.Errorf("shard.count must be in [1, %d], got %d", MaxShards, s.Shard.Count)
+			}
+			if s.Shard.Index < 0 || s.Shard.Index >= s.Shard.Count {
+				return fmt.Errorf("shard.index must be in [0, %d), got %d", s.Shard.Count, s.Shard.Index)
+			}
+		} else if s.Format != "text" && s.Format != "markdown" {
 			return fmt.Errorf("unknown format %q (want text|markdown)", s.Format)
 		}
 		if s.Trace {
@@ -193,6 +237,9 @@ func (s Spec) Validate() error {
 		}
 		if s.Sim == nil {
 			return fmt.Errorf("sim jobs need a sim scenario")
+		}
+		if s.Shard != nil {
+			return fmt.Errorf("shard is only available on experiment jobs")
 		}
 		if s.Sim.N < 1 || s.Sim.N > MaxSimNodes {
 			return fmt.Errorf("sim.n must be in [1, %d], got %d", MaxSimNodes, s.Sim.N)

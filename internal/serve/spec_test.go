@@ -42,6 +42,40 @@ func TestNormalizedInfersKindAndDefaults(t *testing.T) {
 	}
 }
 
+func TestNormalizedShardJob(t *testing.T) {
+	s := Spec{Experiment: "E5", Shard: &ShardRef{Index: 1, Count: 3}}
+	n := s.Normalized()
+	if n.Format != "" {
+		t.Errorf("shard job Format = %q, want empty (wire stream body has no render format)", n.Format)
+	}
+	if n.Shard == nil || n.Shard.Index != 1 || n.Shard.Count != 3 {
+		t.Errorf("Shard not carried through normalization: %+v", n.Shard)
+	}
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid shard job rejected: %v", err)
+	}
+
+	// The clone must not alias the caller's ShardRef.
+	n.Shard.Index = 2
+	if s.Shard.Index != 1 {
+		t.Error("Normalized aliased the caller's ShardRef")
+	}
+}
+
+func TestHashDistinguishesShardCoordinates(t *testing.T) {
+	base := Spec{Experiment: "E5", Quick: true, Trials: 2, Seed: 7}
+	seen := map[string]string{base.Hash(): "unsharded"}
+	for _, ref := range []ShardRef{{0, 1}, {0, 2}, {1, 2}, {0, 3}} {
+		s := base
+		s.Shard = &ShardRef{Index: ref.Index, Count: ref.Count}
+		name := string(s.CanonicalJSON())
+		if prev, dup := seen[s.Hash()]; dup {
+			t.Errorf("shard variant %s collides with %s", name, prev)
+		}
+		seen[s.Hash()] = name
+	}
+}
+
 func TestNormalizedDoesNotMutateInput(t *testing.T) {
 	s := simSpec()
 	s.Sim.Channel = ""
@@ -133,6 +167,11 @@ func TestValidateRejections(t *testing.T) {
 		{"negative rounds", Spec{Sim: &SimSpec{N: 8, Deploy: "disk", Algo: "fixed", MaxRounds: -1}}, "max_rounds"},
 		{"bad gaincache", func() Spec { s := simSpec(); s.GainCache = "maybe"; return s }(), "gain-cache"},
 		{"trace multi-trial", tr3, "trials=1"},
+		{"shard on sim", func() Spec { s := simSpec(); s.Shard = &ShardRef{Index: 0, Count: 2}; return s }(), "experiment jobs"},
+		{"shard zero count", Spec{Experiment: "E5", Shard: &ShardRef{Index: 0, Count: 0}}, "shard.count"},
+		{"shard count over max", Spec{Experiment: "E5", Shard: &ShardRef{Index: 0, Count: MaxShards + 1}}, "shard.count"},
+		{"shard index negative", Spec{Experiment: "E5", Shard: &ShardRef{Index: -1, Count: 2}}, "shard.index"},
+		{"shard index past count", Spec{Experiment: "E5", Shard: &ShardRef{Index: 2, Count: 2}}, "shard.index"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Normalized().Validate()
@@ -179,6 +218,7 @@ func TestSpecHashFieldManifest(t *testing.T) {
 	}{
 		{reflect.TypeOf(Spec{}), specHashFields},
 		{reflect.TypeOf(SimSpec{}), simSpecHashFields},
+		{reflect.TypeOf(ShardRef{}), shardRefHashFields},
 	}
 	for _, tc := range cases {
 		if got := serializedJSONNames(t, tc.typ); !slices.Equal(got, tc.list) {

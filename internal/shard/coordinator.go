@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Executor runs one shard of a request and returns its wire bytes. The
+// two implementations are Local (in-process) and Endpoint (a remote
+// crserve daemon); a Coordinator drives any mix of them.
+type Executor interface {
+	// Name identifies the executor in logs and failure reports.
+	Name() string
+	// RunShard executes shard index of the request, honoring ctx.
+	RunShard(ctx context.Context, req Request, index int) ([]byte, error)
+}
+
+// Coordinator fans the shards of one request out over a set of executors
+// and merges the results. Fault handling: per-attempt timeout, retry with
+// exponential backoff, straggler re-dispatch (an executor that runs out of
+// unstarted shards duplicates the lowest-indexed in-flight one — first
+// valid result wins, so one dead worker cannot stall the run), optional
+// per-shard checkpoints for kill-and-resume, and partial-failure
+// surfacing: a run with any unrecoverable shard reports exactly which
+// shards failed and why.
+type Coordinator struct {
+	// Executors run shards concurrently, one shard per executor at a time.
+	Executors []Executor
+	// Checkpoints, when non-nil, stores every completed shard as it
+	// finishes.
+	Checkpoints *CheckpointDir
+	// Resume consults Checkpoints before dispatch, so a restarted run
+	// recomputes only the missing shards. Checkpoints from a different
+	// request or shard count never match (the spec hash and coordinates
+	// are validated on load) — they are logged and recomputed.
+	Resume bool
+	// Retries is how many times one executor re-attempts one shard after
+	// its first failure; < 0 selects the default (2).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt;
+	// 0 selects the default (200ms).
+	Backoff time.Duration
+	// ShardTimeout bounds one attempt's wall clock; 0 means no bound
+	// beyond the run context.
+	ShardTimeout time.Duration
+	// Log, when non-nil, receives one line per dispatch-relevant event
+	// (resume, completion, retry, failure). Writes are serialized.
+	Log io.Writer
+}
+
+const (
+	defaultRetries = 2
+	defaultBackoff = 200 * time.Millisecond
+)
+
+// coordState is the mutex-guarded scheduler state shared by the executor
+// goroutines.
+type coordState struct {
+	mu       sync.Mutex
+	done     []bool
+	results  [][]byte
+	inflight []int
+	// gaveUp[shard][executor] marks an (executor, shard) pair whose
+	// retry budget is exhausted; a shard is lost only when every executor
+	// gave up on it.
+	gaveUp  [][]bool
+	lastErr []error
+	log     io.Writer
+}
+
+func (s *coordState) logf(format string, args ...any) {
+	if s.log != nil {
+		fmt.Fprintf(s.log, format+"\n", args...)
+	}
+}
+
+// next picks the executor's next shard under the lock: the lowest-indexed
+// unfinished shard nobody is running, else (straggler re-dispatch) the
+// lowest-indexed unfinished shard someone is running. The second return
+// is false when the executor has nothing left to do.
+func (s *coordState) next(executor int) (int, bool) {
+	pick := -1
+	for i := range s.done {
+		if s.done[i] || s.gaveUp[i][executor] {
+			continue
+		}
+		if s.inflight[i] == 0 {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return 0, false
+	}
+	s.inflight[pick]++
+	return pick, true
+}
+
+// Run executes the request across the coordinator's executors and returns
+// the merged result. The merged bytes are independent of executor count,
+// dispatch order, stragglers, and resume history — only the request
+// determines them.
+func (c *Coordinator) Run(ctx context.Context, req Request) (*Merged, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c.Executors) == 0 {
+		return nil, errors.New("shard: coordinator has no executors")
+	}
+	specHash := RequestHash(req)
+	st := &coordState{
+		done:     make([]bool, req.Shards),
+		results:  make([][]byte, req.Shards),
+		inflight: make([]int, req.Shards),
+		gaveUp:   make([][]bool, req.Shards),
+		lastErr:  make([]error, req.Shards),
+		log:      c.Log,
+	}
+	for i := range st.gaveUp {
+		st.gaveUp[i] = make([]bool, len(c.Executors))
+	}
+
+	resumed := 0
+	if c.Checkpoints != nil && c.Resume {
+		for i := 0; i < req.Shards; i++ {
+			_, raw, err := c.Checkpoints.Load(specHash, req.Shards, i)
+			if err != nil {
+				st.logf("shard %d: ignoring checkpoint: %v", i, err)
+				continue
+			}
+			if raw != nil {
+				st.done[i] = true
+				st.results[i] = raw
+				resumed++
+			}
+		}
+		if resumed > 0 {
+			st.logf("resumed %d/%d shard(s) from %s", resumed, req.Shards, c.Checkpoints.Dir)
+		}
+	}
+
+	retries := c.Retries
+	if retries < 0 {
+		retries = defaultRetries
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+
+	var wg sync.WaitGroup
+	for e := range c.Executors {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			c.executorLoop(ctx, req, specHash, st, e, retries, backoff)
+		}(e)
+	}
+	wg.Wait()
+
+	var failed []int
+	for i, ok := range st.done {
+		if !ok {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("shard: run canceled with %d/%d shard(s) incomplete: %w", len(failed), req.Shards, err)
+		}
+		sort.Ints(failed)
+		var b strings.Builder
+		fmt.Fprintf(&b, "shard: %d/%d shard(s) failed on every executor:", len(failed), req.Shards)
+		for _, i := range failed {
+			fmt.Fprintf(&b, "\n  shard %d: %v", i, st.lastErr[i])
+		}
+		return nil, errors.New(b.String())
+	}
+
+	parts := make([]*Result, req.Shards)
+	for i, raw := range st.results {
+		res, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		parts[i] = res
+	}
+	return Merge(parts)
+}
+
+// executorLoop is one executor's work loop: claim a shard, attempt it with
+// retries, record the outcome, repeat until nothing is left.
+func (c *Coordinator) executorLoop(ctx context.Context, req Request, specHash string, st *coordState, e int, retries int, backoff time.Duration) {
+	ex := c.Executors[e]
+	for ctx.Err() == nil {
+		st.mu.Lock()
+		index, ok := st.next(e)
+		st.mu.Unlock()
+		if !ok {
+			return
+		}
+		raw, err := c.attemptShard(ctx, req, specHash, st, ex, index, retries, backoff)
+		st.mu.Lock()
+		st.inflight[index]--
+		if err != nil {
+			st.gaveUp[index][e] = true
+			st.lastErr[index] = fmt.Errorf("%s: %w", ex.Name(), err)
+			st.logf("shard %d: %s gave up: %v", index, ex.Name(), err)
+		} else if !st.done[index] {
+			st.done[index] = true
+			st.results[index] = raw
+			st.logf("shard %d/%d done (%s)", index, req.Shards, ex.Name())
+			if c.Checkpoints != nil {
+				if cerr := c.Checkpoints.Store(req.Shards, index, raw); cerr != nil {
+					st.logf("shard %d: checkpoint write failed: %v", index, cerr)
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// attemptShard runs one (executor, shard) pair with the retry policy and
+// validates the returned wire bytes before accepting them.
+func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash string, st *coordState, ex Executor, index, retries int, backoff time.Duration) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			st.mu.Lock()
+			already := st.done[index]
+			st.mu.Unlock()
+			if already {
+				// Another executor finished the shard while this one was
+				// failing; stop burning attempts on it.
+				return nil, lastErr
+			}
+			st.logf("shard %d: retrying on %s (attempt %d/%d) after %v", index, ex.Name(), attempt+1, retries+1, lastErr)
+			if err := sleepCtx(ctx, backoff<<(attempt-1)); err != nil {
+				return nil, err
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if c.ShardTimeout > 0 {
+			//crlint:allow nowallclock per-shard timeout is an explicitly configured wall-clock budget
+			attemptCtx, cancel = context.WithTimeout(ctx, c.ShardTimeout)
+		}
+		raw, err := ex.RunShard(attemptCtx, req, index)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			res, derr := Decode(bytes.NewReader(raw))
+			switch {
+			case derr != nil:
+				err = fmt.Errorf("invalid shard result: %w", derr)
+			case res.SpecHash != specHash:
+				err = fmt.Errorf("shard result is for run %.12s…, want %.12s…", res.SpecHash, specHash)
+			case res.Shards != req.Shards || res.Index != index:
+				err = fmt.Errorf("shard result is %d/%d, want %d/%d", res.Index, res.Shards, index, req.Shards)
+			default:
+				return raw, nil
+			}
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d) //crlint:allow nowallclock retry backoff is wall-clock by nature and never feeds results
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

@@ -1,0 +1,106 @@
+// The HTTP executor tests live in an external test package so they can
+// drive a real serve daemon: serve imports shard (to run shard jobs), so an
+// internal test here could not import serve back without a cycle.
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fadingcr/internal/experiments"
+	"fadingcr/internal/serve"
+	"fadingcr/internal/shard"
+)
+
+// startDaemon brings up an in-process crserve instance and returns its base
+// URL.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	exec := serve.NewExecutor(serve.Options{Workers: 2, JobParallelism: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = exec.Drain(ctx)
+	})
+	ts := httptest.NewServer(serve.NewServer(exec, serve.ServerOptions{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func httpRequest(shards int) shard.Request {
+	return shard.Request{
+		Spec:   experiments.Spec{IDs: "E5", Quick: true, Trials: 2, Seed: 9},
+		Shards: shards,
+	}
+}
+
+// TestEndpointMatchesLocalWorker pins the serve↔shard wire compatibility:
+// the bytes a crserve daemon returns for a shard job are exactly the bytes
+// shard.RunWorker produces in-process. This is the cross-package guard on
+// the submit schema too — serve decodes submissions with
+// DisallowUnknownFields, so a drifted field in the client would fail here.
+func TestEndpointMatchesLocalWorker(t *testing.T) {
+	url := startDaemon(t)
+	req := httpRequest(3)
+	ep := &shard.Endpoint{URL: url}
+	remote, err := ep.RunShard(context.Background(), req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := shard.RunWorker(context.Background(), req, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote, local) {
+		t.Errorf("daemon shard bytes differ from in-process worker:\n--- remote ---\n%s\n--- local ---\n%s", remote, local)
+	}
+}
+
+// TestCoordinatorOverEndpoints runs a full sharded run against two daemons
+// and requires output byte-identical to local workers.
+func TestCoordinatorOverEndpoints(t *testing.T) {
+	req := httpRequest(4)
+
+	localCoord := shard.Coordinator{Executors: []shard.Executor{&shard.Local{Parallelism: 2}}}
+	lm, err := localCoord.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := shard.Assemble(context.Background(), &want, req, lm, false); err != nil {
+		t.Fatal(err)
+	}
+
+	remoteCoord := shard.Coordinator{Executors: []shard.Executor{
+		&shard.Endpoint{URL: startDaemon(t)},
+		&shard.Endpoint{URL: startDaemon(t)},
+	}}
+	rm, err := remoteCoord.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := shard.Assemble(context.Background(), &got, req, rm, false); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("endpoint-run output differs from local workers:\n--- local ---\n%s\n--- endpoints ---\n%s", want.String(), got.String())
+	}
+	if lm.Hash() != rm.Hash() {
+		t.Errorf("aggregate hash differs: local %s, endpoints %s", lm.Hash(), rm.Hash())
+	}
+}
+
+// TestEndpointReportsJobFailure pins that a daemon-side failure surfaces as
+// an executor error, not as garbage bytes: an out-of-range index is rejected
+// by spec validation at submit time.
+func TestEndpointReportsJobFailure(t *testing.T) {
+	url := startDaemon(t)
+	ep := &shard.Endpoint{URL: url}
+	if _, err := ep.RunShard(context.Background(), httpRequest(2), 5); err == nil {
+		t.Error("out-of-range shard index accepted by the daemon")
+	}
+}

@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+)
+
+// Local is the in-process executor: it runs shards on this process's
+// Monte Carlo engine via RunWorker. N Local executors give a coordinator
+// N-way shard-level parallelism on one machine; Parallelism additionally
+// fans each shard's trial loops out over goroutines. Neither knob changes
+// bytes.
+type Local struct {
+	// ID distinguishes workers in logs ("local-0", "local-1", …).
+	ID string
+	// Parallelism is the per-trial-loop worker count (≤ 0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Name implements Executor.
+func (l *Local) Name() string {
+	if l.ID != "" {
+		return l.ID
+	}
+	return "local"
+}
+
+// RunShard implements Executor.
+func (l *Local) RunShard(ctx context.Context, req Request, index int) ([]byte, error) {
+	raw, err := RunWorker(ctx, req, index, l.Parallelism, nil)
+	if err != nil {
+		return nil, fmt.Errorf("local shard %d: %w", index, err)
+	}
+	return raw, nil
+}

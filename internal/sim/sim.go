@@ -63,6 +63,9 @@ type Node interface {
 	// index of the decoded message, or −1 when nothing was received (which
 	// is always the case while transmitting); detect carries the collision
 	// detection trichotomy on channels that expose it, Unknown otherwise.
+	// Hear fires for every executed round, including the solving round —
+	// the oracle terminates the run only after feedback is delivered, so a
+	// listener can observe Message on the final round.
 	Hear(round int, from int, detect Feedback)
 }
 
@@ -173,9 +176,6 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 		if cfg.Tracer != nil {
 			cfg.Tracer.OnRound(round, nodes, tx, recv)
 		}
-		if count == 1 {
-			return finish(cfg, Result{Solved: true, Rounds: round, Winner: solo, Transmissions: transmissions}), nil
-		}
 		detect := Unknown
 		if cfg.CollisionDetection {
 			switch {
@@ -187,8 +187,16 @@ func Run(ch Channel, b Builder, seed uint64, cfg Config) (Result, error) {
 				detect = Collision
 			}
 		}
+		// Feedback is delivered for every executed round, including the
+		// solving one, before the oracle terminates the run: nodes cannot
+		// distinguish the final round locally, and with CollisionDetection on
+		// a listener's only way to ever observe Message is the solo round
+		// itself.
 		for u, node := range nodes {
 			node.Hear(round, recv[u], detect)
+		}
+		if count == 1 {
+			return finish(cfg, Result{Solved: true, Rounds: round, Winner: solo, Transmissions: transmissions}), nil
 		}
 	}
 	return finish(cfg, Result{Solved: false, Rounds: cfg.MaxRounds, Winner: -1, Transmissions: transmissions}), nil

@@ -78,9 +78,13 @@ func TestRunSoloBroadcastSolves(t *testing.T) {
 	if res.Transmissions != 5 {
 		t.Errorf("Transmissions = %d, want 5", res.Transmissions)
 	}
-	// Hear must have been called for the two unsolved rounds only.
-	if got := len(b.nodes[0].heard); got != 2 {
-		t.Errorf("node 0 heard %d rounds, want 2", got)
+	// Hear fires for every executed round, including the solving one.
+	if got := len(b.nodes[0].heard); got != 3 {
+		t.Errorf("node 0 heard %d rounds, want 3", got)
+	}
+	// The solving round's message reaches the listener before termination.
+	if got := b.nodes[0].heard[2]; got != 1 {
+		t.Errorf("node 0 heard %d in the solving round, want 1 (the winner)", got)
 	}
 }
 
@@ -116,7 +120,11 @@ func TestRunSingleNode(t *testing.T) {
 }
 
 func TestRunCollisionDetectionFeedback(t *testing.T) {
-	// Round 1: collision; round 2: silence; round 3: solo (solves, no Hear).
+	// Round 1: collision; round 2: silence; round 3: solo broadcast. The
+	// solving round's feedback is delivered before the oracle terminates
+	// the run, so the listener observes the full trichotomy — Message was
+	// once unreachable because Run returned before the final Hear
+	// (regression test for that bug).
 	b := &scheduleBuilder{schedules: []map[int]bool{
 		{1: true},
 		{1: true, 3: true},
@@ -126,11 +134,18 @@ func TestRunCollisionDetectionFeedback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Feedback{Collision, Silence}
+	want := []Feedback{Collision, Silence, Message}
+	if got := len(b.nodes[2].detects); got != len(want) {
+		t.Fatalf("listener got %d feedback events, want %d", got, len(want))
+	}
 	for i, w := range want {
 		if got := b.nodes[2].detects[i]; got != w {
 			t.Errorf("round %d detect = %v, want %v", i+1, got, w)
 		}
+	}
+	// The solving round also delivers the winner's message on a CD radio.
+	if got := b.nodes[2].heard[2]; got != 1 {
+		t.Errorf("listener heard %d in the solo round, want 1", got)
 	}
 }
 
@@ -149,9 +164,9 @@ func TestRunWithoutCollisionDetectionReportsUnknown(t *testing.T) {
 }
 
 func TestRunListenersReceiveOnRadio(t *testing.T) {
-	// Two transmitters collide in round 1 (nothing heard); solo in round 2
-	// ends the run before Hear, so use three rounds with one transmitter
-	// and a never-transmitting listener pair to check reception plumbing.
+	// Round 1: two transmitters collide (nothing heard); round 2: node 0
+	// transmits alone — solved, and the solving round's reception is
+	// delivered to the listeners before the run terminates.
 	b := &scheduleBuilder{schedules: []map[int]bool{
 		{1: true, 2: true},
 		{1: true},
@@ -161,13 +176,11 @@ func TestRunListenersReceiveOnRadio(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Round 1 collides; round 2 node 0 transmits alone → solved, and the
-	// listeners never get the Hear for round 2.
 	if !res.Solved || res.Rounds != 2 || res.Winner != 0 {
 		t.Fatalf("Result = %+v", res)
 	}
-	if got := b.nodes[2].heard; len(got) != 1 || got[0] != -1 {
-		t.Errorf("listener heard %v in round 1, want [-1] (collision)", got)
+	if got := b.nodes[2].heard; len(got) != 2 || got[0] != -1 || got[1] != 0 {
+		t.Errorf("listener heard %v, want [-1 0] (collision, then the solo sender)", got)
 	}
 }
 
