@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		farfieldEps  = fs.Float64("farfield-eps", 0, "ε far-field pruning for SINR delivery (0 = exact; ε > 0 trades a bounded one-sided reception error for speed)")
 		sinrParallel = fs.Int("sinr-parallel", 0, "intra-round SINR Deliver workers (0/1 sequential; deterministic channels are identical at any value)")
 
+		spanLog       = fs.String("span-log", "", "write coordinator scheduling spans (NDJSON) to this file; requires -shards > 1 (analyse with crtrace spans)")
 		traceDir      = fs.String("trace-dir", "", "write per-trial structured traces into this directory (analyse with crtrace)")
 		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
 		traceEvery    = fs.Int("trace-every", 100, "trace every Kth trial of each trial loop")
@@ -132,25 +133,30 @@ func run(args []string, stdout io.Writer) (err error) {
 		if err != nil {
 			return cli.Usage(err)
 		}
-		cfg.Trace, err = trace.NewCapture("crbench", trace.Policy{
-			Dir:          *traceDir,
-			Format:       traceFormat,
-			EveryK:       *traceEvery,
-			FailuresOnly: *traceFailures,
-			Classes:      *traceClasses,
-		})
-		if err != nil {
-			return err
+		if *shards <= 1 {
+			cfg.Trace, err = trace.NewCapture("crbench", trace.Policy{
+				Dir:          *traceDir,
+				Format:       traceFormat,
+				EveryK:       *traceEvery,
+				FailuresOnly: *traceFailures,
+				Classes:      *traceClasses,
+			})
+			if err != nil {
+				return err
+			}
 		}
+	}
+	if *spanLog != "" && *shards <= 1 {
+		return cli.Usagef("-span-log records coordinator scheduling spans and requires -shards > 1")
 	}
 	if *shards > 1 {
 		// Sharded run: the coordinator executes every trial-loop shard
 		// through local workers and the assembler re-renders the tables.
 		// Byte-identical to the unsharded path at any shard count (timing
-		// lines go to stderr in both paths for exactly this reason).
-		if cfg.Trace != nil {
-			return cli.Usagef("-trace-dir cannot be combined with -shards")
-		}
+		// lines go to stderr in both paths for exactly this reason). With
+		// -trace-dir the workers capture under global trial indices and ship
+		// bundles back; the federated directory is byte-identical to an
+		// unsharded capture.
 		req := shard.Request{
 			Spec: experiments.Spec{
 				IDs:          *ids,
@@ -163,9 +169,25 @@ func run(args []string, stdout io.Writer) (err error) {
 			},
 			Shards: *shards,
 		}
+		if *traceDir != "" {
+			req.Trace = &shard.TraceSpec{
+				Format:   *traceFmt,
+				EveryK:   *traceEvery,
+				Failures: *traceFailures,
+				Classes:  *traceClasses,
+			}
+		}
 		coord := shard.Coordinator{
 			Executors: []shard.Executor{&shard.Local{Parallelism: *parallel}},
 			Log:       os.Stderr,
+		}
+		if *spanLog != "" {
+			f, err := os.Create(*spanLog)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			coord.Spans = obs.NewSpanLog(f)
 		}
 		runStart := time.Now() //crlint:allow nowallclock CLI elapsed-time summary
 		merged, err := coord.Run(ctx, req)
@@ -174,6 +196,18 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		if err := shard.Assemble(ctx, w, req, merged, *format == "markdown"); err != nil {
 			return err
+		}
+		if *traceDir != "" {
+			n, err := merged.WriteTraceDir(*traceDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "crbench: %d trace files federated from %d shard(s) into %s\n", n, *shards, *traceDir)
+		}
+		if coord.Spans != nil {
+			if serr := coord.Spans.Err(); serr != nil {
+				return fmt.Errorf("span log: %w", serr)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "crbench: %d experiment(s), %d shard(s) in %v (parallelism %d, gain cache %s: %s)\n",
 			len(selected), *shards, time.Since(runStart).Round(time.Millisecond), effective, //crlint:allow nowallclock CLI elapsed-time summary

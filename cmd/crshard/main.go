@@ -30,6 +30,7 @@ import (
 
 	"fadingcr/internal/cli"
 	"fadingcr/internal/experiments"
+	"fadingcr/internal/obs"
 	"fadingcr/internal/shard"
 )
 
@@ -72,6 +73,14 @@ func run(args []string, stdout io.Writer) error {
 		retries      = fs.Int("retries", 2, "re-attempts per executor per shard after a failure")
 		backoff      = fs.Duration("backoff", 200*time.Millisecond, "base delay between a shard's retry attempts (doubles per attempt)")
 		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+
+		spanLog       = fs.String("span-log", "", "write coordinator scheduling spans (NDJSON) to this file (analyse with crtrace spans)")
+		metricsFleet  = fs.Bool("metrics-fleet", false, "scrape every -endpoints daemon's /metrics, print one merged NDJSON snapshot, and exit (no experiments run)")
+		traceDir      = fs.String("trace-dir", "", "federate the shards' per-trial structured traces into this directory (byte-identical to an unsharded crbench -trace-dir capture)")
+		traceFmt      = fs.String("trace-format", "ndjson", "structured trace format: ndjson|binary")
+		traceEvery    = fs.Int("trace-every", 100, "trace every Kth trial of each trial loop (global trial indices)")
+		traceFailures = fs.Bool("trace-failures", false, "keep only unsolved trials' traces")
+		traceClasses  = fs.Bool("trace-classes", false, "include per-round link-class censuses in traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cli.Usage(err)
@@ -81,6 +90,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *resume && *checkpointDir == "" {
 		return cli.Usagef("-resume requires -checkpoint-dir")
+	}
+
+	var urls []string
+	if *endpoints != "" {
+		for _, u := range strings.Split(*endpoints, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			urls = append(urls, u)
+		}
+	}
+
+	if *metricsFleet {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout) //crlint:allow nowallclock CLI -timeout flag bounds wall time only
+			defer cancel()
+		}
+		w := stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return runMetricsFleet(ctx, urls, w)
 	}
 
 	req := shard.Request{
@@ -95,19 +134,21 @@ func run(args []string, stdout io.Writer) error {
 		},
 		Shards: *shards,
 	}
+	if *traceDir != "" {
+		req.Trace = &shard.TraceSpec{
+			Format:   *traceFmt,
+			EveryK:   *traceEvery,
+			Failures: *traceFailures,
+			Classes:  *traceClasses,
+		}
+	}
 	if err := req.Validate(); err != nil {
 		return cli.Usage(err)
 	}
 
 	var execs []shard.Executor
-	if *endpoints != "" {
-		for _, u := range strings.Split(*endpoints, ",") {
-			u = strings.TrimRight(strings.TrimSpace(u), "/")
-			if u == "" {
-				continue
-			}
-			execs = append(execs, &shard.Endpoint{URL: u})
-		}
+	for _, u := range urls {
+		execs = append(execs, &shard.Endpoint{URL: u})
 	}
 	nWorkers := *workers
 	if nWorkers == 0 && len(execs) == 0 {
@@ -133,6 +174,14 @@ func run(args []string, stdout io.Writer) error {
 	if *checkpointDir != "" {
 		coord.Checkpoints = &shard.CheckpointDir{Dir: *checkpointDir}
 		coord.Resume = *resume
+	}
+	if *spanLog != "" {
+		f, err := os.Create(*spanLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		coord.Spans = obs.NewSpanLog(f)
 	}
 
 	ctx := context.Background()
@@ -160,8 +209,49 @@ func run(args []string, stdout io.Writer) error {
 	if err := shard.Assemble(ctx, w, req, merged, *format == "markdown"); err != nil {
 		return err
 	}
+	if *traceDir != "" {
+		n, err := merged.WriteTraceDir(*traceDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crshard: %d trace files federated from %d shard(s) into %s\n", n, *shards, *traceDir)
+	}
+	if coord.Spans != nil {
+		if serr := coord.Spans.Err(); serr != nil {
+			return fmt.Errorf("span log: %w", serr)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "crshard: %d shard(s) over %d executor(s) in %v (aggregate hash %s)\n",
 		*shards, len(execs), time.Since(runStart).Round(time.Millisecond), //crlint:allow nowallclock CLI elapsed-time summary
 		merged.Hash())
 	return nil
+}
+
+// runMetricsFleet is the -metrics-fleet mode: scrape every endpoint's
+// /metrics, merge the snapshots deterministically (union of names sorted;
+// counters sum, gauges take the last endpoint's value in flag order,
+// histograms merge bucket-wise and recompute quantiles), and emit one
+// combined NDJSON snapshot under a fleet header.
+func runMetricsFleet(ctx context.Context, urls []string, w io.Writer) error {
+	if len(urls) == 0 {
+		return cli.Usagef("-metrics-fleet requires -endpoints")
+	}
+	sources := make([][]obs.MetricSnapshot, 0, len(urls))
+	for _, u := range urls {
+		snaps, err := obs.ScrapeMetrics(ctx, nil, u)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, snaps)
+	}
+	merged, err := obs.MergeSnapshots(sources...)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewSink(w)
+	if err := sink.Emit("fleet",
+		obs.F("schema", obs.FleetSchemaVersion), obs.F("sources", len(urls))); err != nil {
+		return err
+	}
+	return obs.EmitSnapshots(sink, merged)
 }

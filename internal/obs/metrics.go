@@ -130,14 +130,20 @@ type Bucket struct {
 }
 
 // MetricSnapshot is one metric's point-in-time value. Kind selects which
-// fields are meaningful: Value for counters and gauges; Count, Sum, and
-// Buckets for histograms.
+// fields are meaningful: Value for counters and gauges; Count, Sum, Buckets,
+// and the P* quantile estimates for histograms. Quantiles are deterministic
+// interpolations within the power-of-two buckets (see bucketQuantile), so
+// they are estimates bounded by bucket resolution, not exact order
+// statistics.
 type MetricSnapshot struct {
 	Name    string
 	Kind    string // "counter" | "gauge" | "histogram"
 	Value   int64
 	Count   int64
 	Sum     float64
+	P50     float64
+	P95     float64
+	P99     float64
 	Buckets []Bucket
 }
 
@@ -239,10 +245,12 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 				}
 				buckets[b] = Bucket{Lt: lt, Count: m.counts[b].Load()}
 			}
-			out = append(out, MetricSnapshot{
+			snap := MetricSnapshot{
 				Name: name, Kind: "histogram",
 				Count: m.Count(), Sum: m.Sum(), Buckets: buckets,
-			})
+			}
+			fillQuantiles(&snap)
+			out = append(out, snap)
 		}
 	}
 	return out

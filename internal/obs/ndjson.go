@@ -58,14 +58,23 @@ func (s *Sink) Emit(event string, fields ...Field) error {
 // EmitTo writes the registry's snapshot to the sink as one event per metric
 // in ascending name order: counters and gauges as
 // {"event":"counter","name":...,"value":N}, histograms as
-// {"event":"histogram","name":...,"count":N,"sum":S,"buckets":[{"lt":...,
-// "count":...},...]}.
+// {"event":"histogram","name":...,"count":N,"sum":S,"p50":...,"p95":...,
+// "p99":...,"buckets":[{"lt":...,"count":...},...]} with the deterministic
+// quantile estimates of MetricSnapshot.
 func (r *Registry) EmitTo(s *Sink) error {
-	for _, m := range r.Snapshot() {
+	return EmitSnapshots(s, r.Snapshot())
+}
+
+// EmitSnapshots writes already-taken metric snapshots in the exact line
+// shape EmitTo produces — the shared serializer behind the -metrics report,
+// the /metrics handler, and the fleet-merged export.
+func EmitSnapshots(s *Sink, snaps []MetricSnapshot) error {
+	for _, m := range snaps {
 		var err error
 		switch m.Kind {
 		case "histogram":
-			err = s.Emit(m.Kind, F("name", m.Name), F("count", m.Count), F("sum", m.Sum), F("buckets", m.Buckets))
+			err = s.Emit(m.Kind, F("name", m.Name), F("count", m.Count), F("sum", m.Sum),
+				F("p50", m.P50), F("p95", m.P95), F("p99", m.P99), F("buckets", m.Buckets))
 		default:
 			err = s.Emit(m.Kind, F("name", m.Name), F("value", m.Value))
 		}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantiles pins the deterministic quantile estimator against
+// hand-computed interpolations on known bucket layouts.
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name          string
+		base          float64
+		doublings     int
+		observe       []float64
+		p50, p95, p99 float64
+	}{
+		{
+			// One observation in [1,2): rank q·1 interpolates inside it.
+			name: "single", base: 1, doublings: 3,
+			observe: []float64{1.5},
+			p50:     1.5, p95: 1.95, p99: 1.99,
+		},
+		{
+			// One observation per bucket of lt [1,2,4,+Inf): the overflow
+			// bucket clamps to its lower bound.
+			name: "spread", base: 1, doublings: 3,
+			observe: []float64{0.5, 1.5, 3, 8},
+			p50:     2, p95: 4, p99: 4,
+		},
+		{
+			// All mass below base interpolates over [0, base).
+			name: "underflow", base: 8, doublings: 2,
+			observe: []float64{2, 4},
+			p50:     4, p95: 7.6, p99: 7.92,
+		},
+		{
+			name: "empty", base: 1, doublings: 3,
+			observe: nil,
+			p50:     0, p95: 0, p99: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("q.hist", tc.base, tc.doublings)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			snap := r.Snapshot()[0]
+			for _, q := range []struct {
+				name      string
+				got, want float64
+			}{{"p50", snap.P50, tc.p50}, {"p95", snap.P95, tc.p95}, {"p99", snap.P99, tc.p99}} {
+				if math.Abs(q.got-q.want) > 1e-9 {
+					t.Errorf("%s = %v, want %v", q.name, q.got, q.want)
+				}
+			}
+		})
+	}
+}
+
+// TestBucketQuantileFullRank pins the q=1 clamp: the estimate lands on the
+// highest occupied bucket's finite bound rather than walking off the slice.
+func TestBucketQuantileFullRank(t *testing.T) {
+	buckets := []Bucket{{Lt: "1", Count: 2}, {Lt: "2", Count: 3}, {Lt: "+Inf", Count: 0}}
+	bounds, ok := bucketBounds(buckets)
+	if !ok {
+		t.Fatal("bucketBounds failed on a valid layout")
+	}
+	if got := bucketQuantile(buckets, bounds, 5, 1.0); got != 2 {
+		t.Errorf("q=1.0 = %v, want 2", got)
+	}
+	// Overflow-only mass at q=1 clamps to the largest finite bound.
+	over := []Bucket{{Lt: "1", Count: 0}, {Lt: "+Inf", Count: 4}}
+	obounds, _ := bucketBounds(over)
+	if got := bucketQuantile(over, obounds, 4, 1.0); got != 1 {
+		t.Errorf("overflow q=1.0 = %v, want 1", got)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanSchemaVersion identifies the span-log NDJSON layout. Bump only on an
+// incompatible change; crtrace refuses span logs from a different schema.
+const SpanSchemaVersion = 1
+
+// A SpanLog records a tree of timed spans as NDJSON — the coordinator-side
+// counterpart of the per-trial traces in internal/trace. The log is
+// observational only: it rides on the process' monotonic clock (timestamps
+// are microseconds since the log was opened, so two runs of the same spec
+// produce structurally identical logs with differing times) and nothing on
+// a result path ever reads it back.
+//
+// The stream starts with a header line
+//
+//	{"event":"spans","schema":1,"clock":"us"}
+//
+// followed by one line per span edge or annotation:
+//
+//	{"event":"span","phase":"begin","id":1,"name":"run","t_us":...}
+//	{"event":"span","phase":"event","span":2,"name":"retry","t_us":...}
+//	{"event":"span","phase":"end","id":2,"name":"dispatch","t_us":...,"dur_us":...}
+//
+// "begin" lines carry "parent" when the span has one; extra fields passed by
+// the instrumentation site follow in call order, so lines are deterministic
+// up to span ids and timestamps. Lines go through one obs.LineEncoder under
+// a mutex — spans from concurrent executor goroutines interleave but never
+// tear. A nil *SpanLog (and the nil *Span its methods return) is a valid
+// no-op, so callers instrument unconditionally and pay a pointer test when
+// tracing is off.
+type SpanLog struct {
+	mu     sync.Mutex
+	enc    *LineEncoder
+	base   time.Time
+	nextID uint64
+}
+
+// NewSpanLog opens a span log on w and writes the schema header. The caller
+// retains ownership of the writer.
+func NewSpanLog(w io.Writer) *SpanLog {
+	l := &SpanLog{
+		enc:  NewLineEncoder(w),
+		base: time.Now(), //crlint:allow nowallclock span timestamps are reporting-only and never feed a result
+	}
+	l.enc.Begin("spans")
+	l.enc.Int("schema", SpanSchemaVersion)
+	l.enc.Str("clock", "us")
+	_ = l.enc.End()
+	return l
+}
+
+// Err returns the first write error the log hit, if any. Span emission never
+// fails the instrumented operation; callers check once at the end.
+func (l *SpanLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Err()
+}
+
+// now returns microseconds since the log was opened, read off the monotonic
+// clock so durations are immune to wall-clock steps.
+func (l *SpanLog) now() int64 {
+	return time.Since(l.base).Microseconds() //crlint:allow nowallclock span timestamps are reporting-only
+}
+
+// A Span is one open interval in the log. Every method on a nil Span is a
+// no-op returning nil children, mirroring the nil *SpanLog contract.
+type Span struct {
+	log    *SpanLog
+	id     uint64
+	parent uint64
+	name   string
+	start  int64 // t_us at begin
+}
+
+// Begin opens a root span.
+func (l *SpanLog) Begin(name string, fields ...Field) *Span {
+	if l == nil {
+		return nil
+	}
+	return l.begin(0, name, fields)
+}
+
+func (l *SpanLog) begin(parent uint64, name string, fields []Field) *Span {
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	s := &Span{log: l, id: l.nextID, parent: parent, name: name, start: t}
+	l.enc.Begin("span")
+	l.enc.Str("phase", "begin")
+	l.enc.Uint("id", s.id)
+	if parent != 0 {
+		l.enc.Uint("parent", parent)
+	}
+	l.enc.Str("name", name)
+	l.enc.Int("t_us", t)
+	encodeFields(l.enc, fields)
+	_ = l.enc.End()
+	return s
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string, fields ...Field) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.log.begin(s.id, name, fields)
+}
+
+// Event records an instantaneous annotation attributed to this span.
+func (s *Span) Event(name string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	l := s.log
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Begin("span")
+	l.enc.Str("phase", "event")
+	l.enc.Uint("span", s.id)
+	l.enc.Str("name", name)
+	l.enc.Int("t_us", t)
+	encodeFields(l.enc, fields)
+	_ = l.enc.End()
+}
+
+// End closes the span, recording its monotonic duration.
+func (s *Span) End(fields ...Field) {
+	if s == nil {
+		return
+	}
+	l := s.log
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Begin("span")
+	l.enc.Str("phase", "end")
+	l.enc.Uint("id", s.id)
+	l.enc.Str("name", s.name)
+	l.enc.Int("t_us", t)
+	l.enc.Int("dur_us", t-s.start)
+	encodeFields(l.enc, fields)
+	_ = l.enc.End()
+}
+
+// encodeFields appends caller fields to an open line. Common scalar kinds
+// take the allocation-free appenders; anything else goes through
+// encoding/json so arbitrary Field values keep working (an unencodable value
+// renders as null rather than corrupting the line).
+func encodeFields(e *LineEncoder, fields []Field) {
+	for _, f := range fields {
+		switch v := f.Value.(type) {
+		case int:
+			e.Int(f.Key, int64(v))
+		case int64:
+			e.Int(f.Key, v)
+		case uint64:
+			e.Uint(f.Key, v)
+		case float64:
+			e.Float(f.Key, v)
+		case bool:
+			e.Bool(f.Key, v)
+		case string:
+			e.Str(f.Key, v)
+		default:
+			raw, err := json.Marshal(f.Value)
+			if err != nil {
+				raw = []byte("null")
+			}
+			e.Raw(f.Key, raw)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanLogShapes(t *testing.T) {
+	var b strings.Builder
+	l := NewSpanLog(&b)
+	run := l.Begin("run", F("shards", 3))
+	d := run.Child("dispatch", F("shard", 0), F("executor", "local-0"))
+	d.Event("retry", F("attempt", 2))
+	d.End(F("outcome", "ok"))
+	run.End()
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := parseLines(t, b.String())
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), b.String())
+	}
+	if lines[0]["event"] != "spans" || lines[0]["schema"] != float64(SpanSchemaVersion) || lines[0]["clock"] != "us" {
+		t.Errorf("header = %v", lines[0])
+	}
+	if lines[1]["phase"] != "begin" || lines[1]["name"] != "run" || lines[1]["shards"] != float64(3) {
+		t.Errorf("run begin = %v", lines[1])
+	}
+	if _, hasParent := lines[1]["parent"]; hasParent {
+		t.Errorf("root span carries a parent: %v", lines[1])
+	}
+	if lines[2]["phase"] != "begin" || lines[2]["name"] != "dispatch" || lines[2]["parent"] != lines[1]["id"] {
+		t.Errorf("dispatch begin = %v (want parent %v)", lines[2], lines[1]["id"])
+	}
+	if lines[3]["phase"] != "event" || lines[3]["name"] != "retry" || lines[3]["span"] != lines[2]["id"] || lines[3]["attempt"] != float64(2) {
+		t.Errorf("retry event = %v", lines[3])
+	}
+	if lines[4]["phase"] != "end" || lines[4]["name"] != "dispatch" || lines[4]["id"] != lines[2]["id"] || lines[4]["outcome"] != "ok" {
+		t.Errorf("dispatch end = %v", lines[4])
+	}
+	if dur, ok := lines[4]["dur_us"].(float64); !ok || dur < 0 {
+		t.Errorf("dispatch dur_us = %v, want ≥ 0", lines[4]["dur_us"])
+	}
+	if lines[5]["phase"] != "end" || lines[5]["name"] != "run" {
+		t.Errorf("run end = %v", lines[5])
+	}
+}
+
+// TestSpanLogNilIsNoop pins the disabled path: a nil log and its nil spans
+// accept the full API without panicking or allocating output.
+func TestSpanLogNilIsNoop(t *testing.T) {
+	var l *SpanLog
+	if err := l.Err(); err != nil {
+		t.Errorf("nil log Err = %v", err)
+	}
+	s := l.Begin("run")
+	if s != nil {
+		t.Fatalf("nil log Begin returned %v, want nil", s)
+	}
+	c := s.Child("dispatch")
+	c.Event("retry")
+	c.End()
+	s.End()
+}
+
+// TestSpanLogConcurrentEmitsStayLineAtomic exercises the mutex-guarded
+// LineEncoder from many goroutines (the coordinator runs one goroutine per
+// executor): every line must parse, i.e. no interleaved writes.
+func TestSpanLogConcurrentEmitsStayLineAtomic(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	l := NewSpanLog(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}))
+	root := l.Begin("run")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sp := root.Child("dispatch", F("worker", w), F("i", i))
+				sp.Event("tick")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	lines := parseLines(t, b.String())
+	// header + run begin/end + 8*25*(begin+event+end).
+	if want := 3 + 8*25*3; len(lines) != want {
+		t.Errorf("got %d lines, want %d", len(lines), want)
+	}
+	ids := map[float64]bool{}
+	for _, ln := range lines {
+		if ln["phase"] == "begin" {
+			id := ln["id"].(float64)
+			if ids[id] {
+				t.Fatalf("span id %v allocated twice", id)
+			}
+			ids[id] = true
+		}
+	}
+}
+
+func TestLoggerShapes(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, "shard")
+	l.Log("gave up", F("shard", 3), F("executor", "local-0"))
+	want := `{"event":"shard","msg":"gave up","shard":3,"executor":"local-0"}` + "\n"
+	if b.String() != want {
+		t.Errorf("Log wrote %q, want %q", b.String(), want)
+	}
+	var nilLogger *Logger
+	nilLogger.Log("ignored") // must not panic
+}

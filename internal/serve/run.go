@@ -83,6 +83,12 @@ func runShardSpec(ctx context.Context, spec Spec, parallelism int, progress func
 		}
 	}
 	req := shard.Request{Spec: spec.experimentSpec(), Shards: spec.Shard.Count}
+	if tr := spec.Shard.Trace; tr != nil {
+		req.Trace = &shard.TraceSpec{
+			Format: tr.Format, EveryK: tr.Every,
+			Failures: tr.Failures, Classes: tr.Classes,
+		}
+	}
 	body, err := shard.RunWorker(ctx, req, spec.Shard.Index, parallelism, rp)
 	if err != nil {
 		return nil, err

@@ -65,7 +65,7 @@ func TestNormalizedShardJob(t *testing.T) {
 func TestHashDistinguishesShardCoordinates(t *testing.T) {
 	base := Spec{Experiment: "E5", Quick: true, Trials: 2, Seed: 7}
 	seen := map[string]string{base.Hash(): "unsharded"}
-	for _, ref := range []ShardRef{{0, 1}, {0, 2}, {1, 2}, {0, 3}} {
+	for _, ref := range []ShardRef{{Index: 0, Count: 1}, {Index: 0, Count: 2}, {Index: 1, Count: 2}, {Index: 0, Count: 3}} {
 		s := base
 		s.Shard = &ShardRef{Index: ref.Index, Count: ref.Count}
 		name := string(s.CanonicalJSON())
@@ -73,6 +73,55 @@ func TestHashDistinguishesShardCoordinates(t *testing.T) {
 			t.Errorf("shard variant %s collides with %s", name, prev)
 		}
 		seen[s.Hash()] = name
+	}
+}
+
+// TestShardTraceHashing pins the trace-federation cache contract: a traced
+// shard job occupies a different cache slot than its untraced twin (the
+// result body differs — a bundle rides after the end line), every distinct
+// policy hashes differently, and equivalent policy spellings hash the same.
+func TestShardTraceHashing(t *testing.T) {
+	base := Spec{Experiment: "E5", Quick: true, Trials: 2, Seed: 7, Shard: &ShardRef{Index: 0, Count: 2}}
+	withTrace := func(tr ShardTraceRef) Spec {
+		s := base
+		ref := *base.Shard
+		ref.Trace = &tr
+		s.Shard = &ref
+		return s
+	}
+
+	seen := map[string]string{base.Hash(): "untraced"}
+	for _, tr := range []ShardTraceRef{{}, {Format: "binary"}, {Every: 5}, {Failures: true}, {Classes: true}} {
+		s := withTrace(tr)
+		if err := s.Normalized().Validate(); err != nil {
+			t.Fatalf("traced shard job %+v rejected: %v", tr, err)
+		}
+		name := string(s.CanonicalJSON())
+		if prev, dup := seen[s.Hash()]; dup {
+			t.Errorf("trace variant %s collides with %s", name, prev)
+		}
+		seen[s.Hash()] = name
+	}
+
+	// "" ≡ "ndjson" and every 0 ≡ 1: same policy, same cache slot.
+	if a, b := withTrace(ShardTraceRef{}).Hash(), withTrace(ShardTraceRef{Format: "ndjson", Every: 1}).Hash(); a != b {
+		t.Error("equivalent trace policy spellings hash differently")
+	}
+
+	// Bad policies never reach the executor.
+	if err := withTrace(ShardTraceRef{Format: "xml"}).Normalized().Validate(); err == nil {
+		t.Error("unknown trace format validated")
+	}
+	if err := withTrace(ShardTraceRef{Every: -1}).Normalized().Validate(); err == nil {
+		t.Error("negative trace sampling interval validated")
+	}
+
+	// The clone must not alias the caller's ShardTraceRef.
+	s := withTrace(ShardTraceRef{Every: 4})
+	n := s.Normalized()
+	n.Shard.Trace.Every = 9
+	if s.Shard.Trace.Every != 4 {
+		t.Error("Normalized aliased the caller's ShardTraceRef")
 	}
 }
 
@@ -219,6 +268,7 @@ func TestSpecHashFieldManifest(t *testing.T) {
 		{reflect.TypeOf(Spec{}), specHashFields},
 		{reflect.TypeOf(SimSpec{}), simSpecHashFields},
 		{reflect.TypeOf(ShardRef{}), shardRefHashFields},
+		{reflect.TypeOf(ShardTraceRef{}), shardTraceRefHashFields},
 	}
 	for _, tc := range cases {
 		if got := serializedJSONNames(t, tc.typ); !slices.Equal(got, tc.list) {

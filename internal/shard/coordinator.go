@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"fadingcr/internal/obs"
 )
 
 // Executor runs one shard of a request and returns its wire bytes. The
@@ -50,9 +52,16 @@ type Coordinator struct {
 	// ShardTimeout bounds one attempt's wall clock; 0 means no bound
 	// beyond the run context.
 	ShardTimeout time.Duration
-	// Log, when non-nil, receives one line per dispatch-relevant event
-	// (resume, completion, retry, failure). Writes are serialized.
+	// Log, when non-nil, receives one NDJSON line per dispatch-relevant
+	// event (resume, completion, retry, failure): {"event":"shard",
+	// "msg":…, …structured fields}. Writes are serialized.
 	Log io.Writer
+	// Spans, when non-nil, receives one span per scheduling phase —
+	// run → dispatch → execute, with retry/backoff events and a final merge
+	// span — so `crtrace spans` can reconstruct per-shard timelines, retry
+	// counts, and straggler attribution. Purely observational: the merged
+	// bytes are identical with Spans set or nil.
+	Spans *obs.SpanLog
 }
 
 const (
@@ -72,20 +81,16 @@ type coordState struct {
 	// gave up on it.
 	gaveUp  [][]bool
 	lastErr []error
-	log     io.Writer
-}
-
-func (s *coordState) logf(format string, args ...any) {
-	if s.log != nil {
-		fmt.Fprintf(s.log, format+"\n", args...)
-	}
+	log     *obs.Logger
+	run     *obs.Span
 }
 
 // next picks the executor's next shard under the lock: the lowest-indexed
 // unfinished shard nobody is running, else (straggler re-dispatch) the
-// lowest-indexed unfinished shard someone is running. The second return
-// is false when the executor has nothing left to do.
-func (s *coordState) next(executor int) (int, bool) {
+// lowest-indexed unfinished shard someone is running — the second return
+// reports which case fired. The third return is false when the executor
+// has nothing left to do.
+func (s *coordState) next(executor int) (int, bool, bool) {
 	pick := -1
 	for i := range s.done {
 		if s.done[i] || s.gaveUp[i][executor] {
@@ -100,10 +105,11 @@ func (s *coordState) next(executor int) (int, bool) {
 		}
 	}
 	if pick < 0 {
-		return 0, false
+		return 0, false, false
 	}
+	straggler := s.inflight[pick] > 0
 	s.inflight[pick]++
-	return pick, true
+	return pick, straggler, true
 }
 
 // Run executes the request across the coordinator's executors and returns
@@ -124,18 +130,28 @@ func (c *Coordinator) Run(ctx context.Context, req Request) (*Merged, error) {
 		inflight: make([]int, req.Shards),
 		gaveUp:   make([][]bool, req.Shards),
 		lastErr:  make([]error, req.Shards),
-		log:      c.Log,
+	}
+	if c.Log != nil {
+		st.log = obs.NewLogger(c.Log, "shard")
 	}
 	for i := range st.gaveUp {
 		st.gaveUp[i] = make([]bool, len(c.Executors))
 	}
+	st.run = c.Spans.Begin("run",
+		obs.F("shards", req.Shards), obs.F("executors", len(c.Executors)), obs.F("spec", specHash[:12]))
 
 	resumed := 0
 	if c.Checkpoints != nil && c.Resume {
 		for i := 0; i < req.Shards; i++ {
-			_, raw, err := c.Checkpoints.Load(specHash, req.Shards, i)
+			res, raw, err := c.Checkpoints.Load(specHash, req.Shards, i)
+			if err == nil && raw != nil {
+				// RequestHash ignores the trace spec, so a checkpoint of the
+				// same spec captured under a different (or no) trace policy
+				// loads cleanly — reject it structurally here.
+				err = req.traceMatches(res)
+			}
 			if err != nil {
-				st.logf("shard %d: ignoring checkpoint: %v", i, err)
+				st.log.Log("ignoring checkpoint", obs.F("shard", i), obs.F("error", err.Error()))
 				continue
 			}
 			if raw != nil {
@@ -145,7 +161,9 @@ func (c *Coordinator) Run(ctx context.Context, req Request) (*Merged, error) {
 			}
 		}
 		if resumed > 0 {
-			st.logf("resumed %d/%d shard(s) from %s", resumed, req.Shards, c.Checkpoints.Dir)
+			st.log.Log("resumed shards from checkpoints",
+				obs.F("resumed", resumed), obs.F("shards", req.Shards), obs.F("dir", c.Checkpoints.Dir))
+			st.run.Event("resume", obs.F("resumed", resumed))
 		}
 	}
 
@@ -175,6 +193,7 @@ func (c *Coordinator) Run(ctx context.Context, req Request) (*Merged, error) {
 		}
 	}
 	if len(failed) > 0 {
+		st.run.End(obs.F("failed", len(failed)))
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("shard: run canceled with %d/%d shard(s) incomplete: %w", len(failed), req.Shards, err)
 		}
@@ -187,15 +206,21 @@ func (c *Coordinator) Run(ctx context.Context, req Request) (*Merged, error) {
 		return nil, errors.New(b.String())
 	}
 
+	ms := st.run.Child("merge", obs.F("shards", req.Shards))
 	parts := make([]*Result, req.Shards)
 	for i, raw := range st.results {
 		res, err := Decode(bytes.NewReader(raw))
 		if err != nil {
+			ms.End(obs.F("ok", false))
+			st.run.End(obs.F("failed", 1))
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		parts[i] = res
 	}
-	return Merge(parts)
+	m, err := Merge(parts)
+	ms.End(obs.F("ok", err == nil))
+	st.run.End(obs.F("failed", 0))
+	return m, err
 }
 
 // executorLoop is one executor's work loop: claim a shard, attempt it with
@@ -204,25 +229,30 @@ func (c *Coordinator) executorLoop(ctx context.Context, req Request, specHash st
 	ex := c.Executors[e]
 	for ctx.Err() == nil {
 		st.mu.Lock()
-		index, ok := st.next(e)
+		index, straggler, ok := st.next(e)
 		st.mu.Unlock()
 		if !ok {
 			return
 		}
-		raw, err := c.attemptShard(ctx, req, specHash, st, ex, index, retries, backoff)
+		sp := st.run.Child("dispatch",
+			obs.F("shard", index), obs.F("executor", ex.Name()), obs.F("straggler", straggler))
+		raw, err := c.attemptShard(ctx, req, specHash, st, sp, ex, index, retries, backoff)
+		sp.End(obs.F("ok", err == nil))
 		st.mu.Lock()
 		st.inflight[index]--
 		if err != nil {
 			st.gaveUp[index][e] = true
 			st.lastErr[index] = fmt.Errorf("%s: %w", ex.Name(), err)
-			st.logf("shard %d: %s gave up: %v", index, ex.Name(), err)
+			st.log.Log("gave up",
+				obs.F("shard", index), obs.F("executor", ex.Name()), obs.F("error", err.Error()))
 		} else if !st.done[index] {
 			st.done[index] = true
 			st.results[index] = raw
-			st.logf("shard %d/%d done (%s)", index, req.Shards, ex.Name())
+			st.log.Log("shard done",
+				obs.F("shard", index), obs.F("shards", req.Shards), obs.F("executor", ex.Name()))
 			if c.Checkpoints != nil {
 				if cerr := c.Checkpoints.Store(req.Shards, index, raw); cerr != nil {
-					st.logf("shard %d: checkpoint write failed: %v", index, cerr)
+					st.log.Log("checkpoint write failed", obs.F("shard", index), obs.F("error", cerr.Error()))
 				}
 			}
 		}
@@ -231,8 +261,9 @@ func (c *Coordinator) executorLoop(ctx context.Context, req Request, specHash st
 }
 
 // attemptShard runs one (executor, shard) pair with the retry policy and
-// validates the returned wire bytes before accepting them.
-func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash string, st *coordState, ex Executor, index, retries int, backoff time.Duration) ([]byte, error) {
+// validates the returned wire bytes before accepting them. sp is the
+// dispatch span the attempts nest under (nil-safe).
+func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash string, st *coordState, sp *obs.Span, ex Executor, index, retries int, backoff time.Duration) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
@@ -244,8 +275,13 @@ func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash st
 				// failing; stop burning attempts on it.
 				return nil, lastErr
 			}
-			st.logf("shard %d: retrying on %s (attempt %d/%d) after %v", index, ex.Name(), attempt+1, retries+1, lastErr)
-			if err := sleepCtx(ctx, backoff<<(attempt-1)); err != nil {
+			st.log.Log("retrying shard",
+				obs.F("shard", index), obs.F("executor", ex.Name()),
+				obs.F("attempt", attempt+1), obs.F("attempts", retries+1), obs.F("error", lastErr.Error()))
+			sp.Event("retry", obs.F("attempt", attempt+1), obs.F("error", lastErr.Error()))
+			wait := backoff << (attempt - 1)
+			sp.Event("backoff", obs.F("ms", wait.Milliseconds()))
+			if err := sleepCtx(ctx, wait); err != nil {
 				return nil, err
 			}
 		}
@@ -255,6 +291,7 @@ func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash st
 			//crlint:allow nowallclock per-shard timeout is an explicitly configured wall-clock budget
 			attemptCtx, cancel = context.WithTimeout(ctx, c.ShardTimeout)
 		}
+		es := sp.Child("execute", obs.F("shard", index), obs.F("attempt", attempt+1))
 		raw, err := ex.RunShard(attemptCtx, req, index)
 		if cancel != nil {
 			cancel()
@@ -269,9 +306,14 @@ func (c *Coordinator) attemptShard(ctx context.Context, req Request, specHash st
 			case res.Shards != req.Shards || res.Index != index:
 				err = fmt.Errorf("shard result is %d/%d, want %d/%d", res.Index, res.Shards, index, req.Shards)
 			default:
+				err = req.traceMatches(res)
+			}
+			if err == nil {
+				es.End(obs.F("ok", true))
 				return raw, nil
 			}
 		}
+		es.End(obs.F("ok", false))
 		lastErr = err
 		if ctx.Err() != nil {
 			return nil, lastErr

@@ -56,6 +56,18 @@ type shardJobSpec struct {
 type shardJobRef struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// Trace mirrors Request.Trace; absent for untraced runs so traced and
+	// untraced submissions of one spec stay distinct cache keys on the
+	// daemon (the bundle rides inside the cached result bytes).
+	Trace *shardJobTrace `json:"trace,omitempty"`
+}
+
+// shardJobTrace is the wire form of TraceSpec in a job submission.
+type shardJobTrace struct {
+	Format   string `json:"format,omitempty"`
+	Every    int    `json:"every,omitempty"`
+	Failures bool   `json:"failures,omitempty"`
+	Classes  bool   `json:"classes,omitempty"`
 }
 
 // jobStatus is the slice of serve's job Status the client reads.
@@ -71,6 +83,15 @@ func (e *Endpoint) RunShard(ctx context.Context, req Request, index int) ([]byte
 	if ids == "" {
 		ids = "all"
 	}
+	ref := shardJobRef{Index: index, Count: req.Shards}
+	if req.Trace != nil {
+		ref.Trace = &shardJobTrace{
+			Format:   req.Trace.Format,
+			Every:    req.Trace.EveryK,
+			Failures: req.Trace.Failures,
+			Classes:  req.Trace.Classes,
+		}
+	}
 	body, err := json.Marshal(shardJobSpec{
 		Experiment:   ids,
 		Seed:         req.Spec.Seed,
@@ -79,7 +100,7 @@ func (e *Endpoint) RunShard(ctx context.Context, req Request, index int) ([]byte
 		GainCache:    req.Spec.GainCache,
 		FarFieldEps:  req.Spec.FarFieldEps,
 		SINRParallel: req.Spec.SINRParallel,
-		Shard:        shardJobRef{Index: index, Count: req.Shards},
+		Shard:        ref,
 	})
 	if err != nil {
 		return nil, err

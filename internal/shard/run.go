@@ -5,11 +5,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"fadingcr/internal/experiments"
 	"fadingcr/internal/runner"
+	"fadingcr/internal/trace"
 )
 
 // Request identifies one sharded run: the experiment spec plus the shard
@@ -18,6 +21,81 @@ import (
 type Request struct {
 	Spec   experiments.Spec
 	Shards int
+	// Trace, when non-nil, asks every worker to capture per-trial structured
+	// traces under its global trial indices and ship them back in the
+	// result's trace bundle. Tracing is observational: it never changes the
+	// computed values, so it is excluded from RequestHash — but results and
+	// checkpoints echo the capture policy in their bundle header, and the
+	// coordinator rejects a result whose policy does not match the request.
+	Trace *TraceSpec
+}
+
+// TraceSpec mirrors trace.Policy minus the output directory (workers
+// capture into a private temp dir; only the coordinator materializes a
+// directory). The zero of each field is the trace subsystem's default.
+type TraceSpec struct {
+	// Format is the per-trial file encoding: "ndjson" (also ""), "binary".
+	Format string
+	// EveryK samples every Kth trial (trial % K == 0 on global indices);
+	// values ≤ 1 trace every trial.
+	EveryK int
+	// Failures keeps only unsolved trials' traces.
+	Failures bool
+	// Classes additionally records per-round link-class censuses.
+	Classes bool
+}
+
+// tracePolicy resolves the request's trace spec into the canonical capture
+// policy (Dir unset). Equivalent spellings normalize to one policy —
+// "" and "ndjson", EveryK 0 and 1 — so a worker, a crserve daemon, and the
+// coordinator's validation all agree on the policy a bundle must echo.
+func (r Request) tracePolicy() (trace.Policy, bool, error) {
+	if r.Trace == nil {
+		return trace.Policy{}, false, nil
+	}
+	format, err := trace.ParseFormat(r.Trace.Format)
+	if err != nil {
+		return trace.Policy{}, false, err
+	}
+	if r.Trace.EveryK < 0 {
+		return trace.Policy{}, false, fmt.Errorf("shard: trace sampling interval %d must be ≥ 0", r.Trace.EveryK)
+	}
+	every := r.Trace.EveryK
+	if every <= 1 {
+		every = 0
+	}
+	return trace.Policy{
+		Format: format, EveryK: every,
+		FailuresOnly: r.Trace.Failures, Classes: r.Trace.Classes,
+	}, true, nil
+}
+
+// traceMatches validates a decoded result (or checkpoint) against the
+// request's trace policy: a bundle must be present iff the request traces,
+// and must have been captured under exactly the requested policy. This is
+// what makes stale checkpoints safe — RequestHash ignores tracing, so a
+// checkpoint from an untraced run of the same spec is otherwise
+// indistinguishable from a traced one.
+func (r Request) traceMatches(res *Result) error {
+	want, traced, err := r.tracePolicy()
+	if err != nil {
+		return err
+	}
+	if !traced {
+		if res.Bundle != nil {
+			return errors.New("shard: result carries a trace bundle the request did not ask for")
+		}
+		return nil
+	}
+	if res.Bundle == nil {
+		return errors.New("shard: result carries no trace bundle for a traced request")
+	}
+	if got := res.Bundle.Policy; got != want {
+		return fmt.Errorf("shard: result traces were captured under policy (%s, every %d, failures %v, classes %v), request wants (%s, every %d, failures %v, classes %v)",
+			got.Format, got.EveryK, got.FailuresOnly, got.Classes,
+			want.Format, want.EveryK, want.FailuresOnly, want.Classes)
+	}
+	return nil
 }
 
 // Validate rejects requests no executor could run.
@@ -26,6 +104,9 @@ func (r Request) Validate() error {
 		return fmt.Errorf("shard: shard count %d must be ≥ 1", r.Shards)
 	}
 	if _, _, err := experiments.ConfigFromSpec(r.Spec); err != nil {
+		return err
+	}
+	if _, _, err := r.tracePolicy(); err != nil {
 		return err
 	}
 	return nil
@@ -38,7 +119,9 @@ func (r Request) Validate() error {
 // deliberately absent: sharding never changes the computed values, so runs
 // of the same spec share the hash at every shard count (Merged.Hash
 // inherits that invariance), while Merge and the checkpoint loader validate
-// the coordinates structurally.
+// the coordinates structurally. The trace spec is absent for the same
+// reason — tracing is observational — and bundle presence/policy is
+// validated structurally instead (see Request.traceMatches).
 func RequestHash(r Request) string {
 	spec := r.Spec
 	if spec.IDs == "" {
@@ -83,6 +166,28 @@ func RunWorker(ctx context.Context, req Request, index, parallelism int, progres
 	cfg.Context = ctx
 	cfg.Parallelism = parallelism
 	cfg.Progress = progress
+	var capture *trace.Capture
+	if policy, traced, err := req.tracePolicy(); err != nil {
+		return nil, err
+	} else if traced {
+		// Capture into a private temp dir: trace files travel to the
+		// coordinator in the result's bundle, never by path. The capture
+		// command is "crbench" regardless of which process hosts the worker,
+		// because the federated directory must be byte-identical to an
+		// unsharded `crbench -trace-dir` run and trace headers embed the
+		// command.
+		tmp, err := os.MkdirTemp("", "crshard-trace-")
+		if err != nil {
+			return nil, fmt.Errorf("shard: trace capture: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		policy.Dir = tmp
+		capture, err = trace.NewCapture("crbench", policy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trace = capture
+	}
 	cfg.Shard = &experiments.ShardScope{
 		Index: index,
 		Count: req.Shards,
@@ -97,6 +202,13 @@ func RunWorker(ctx context.Context, req Request, index, parallelism int, progres
 		if _, err := e.Run(cfg); err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
+	}
+	if capture != nil {
+		bundle, err := capture.Bundle()
+		if err != nil {
+			return nil, err
+		}
+		res.Bundle = bundle
 	}
 	return res.Bytes()
 }

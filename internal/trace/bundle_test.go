@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fadingcr/internal/sim"
+)
+
+func sampleBundle() *Bundle {
+	return &Bundle{
+		Policy: Policy{Format: FormatNDJSON, EveryK: 2, FailuresOnly: false, Classes: true},
+		Files: []BundleFile{
+			{Loop: 0, Trial: 0, Name: "trial-000000-seed-0000000000000001.ndjson", Data: []byte("{\"a\":1}\n")},
+			{Loop: 0, Trial: 2, Name: "trial-000002-seed-0000000000000003.ndjson", Data: []byte("{\"b\":2}\n")},
+			{Loop: 1, Trial: 0, Name: "trial-000000-seed-0000000000000001.ndjson", Data: []byte{0x00, 0x01, 0xff}},
+		},
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := sampleBundle()
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBundlePrefix(buf.Bytes()) {
+		t.Errorf("encoded bundle does not start with the magic prefix: %q", buf.Bytes()[:40])
+	}
+	got, err := ReadBundle(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, b)
+	}
+
+	// Byte-determinism: re-encoding yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := b.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := got.Encode(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Error("decode→encode is not byte-identical")
+	}
+}
+
+func TestBundleEmptyRoundTrip(t *testing.T) {
+	b := &Bundle{Policy: Policy{Format: FormatBinary, EveryK: 100}}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Files) != 0 || got.Policy != b.Policy {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// TestBundleRejectsCorruption walks every tampering mode the wire must
+// catch: truncation before and inside a payload, a flipped payload byte, a
+// bad count, unsorted entries, and path-escaping names.
+func TestBundleRejectsCorruption(t *testing.T) {
+	encode := func(b *Bundle) []byte {
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	wire := encode(sampleBundle())
+
+	t.Run("truncated manifest", func(t *testing.T) {
+		cut := bytes.Index(wire, []byte("trace-end"))
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(wire[:cut-10]))); err == nil {
+			t.Error("stream cut before the end line decoded")
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		cut := bytes.Index(wire, []byte("{\"a\":1}"))
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(wire[:cut+3]))); err == nil {
+			t.Error("stream cut inside a payload decoded")
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), wire...)
+		bad[bytes.Index(bad, []byte("{\"b\":2}"))+2] ^= 0x20
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(bad))); err == nil || !strings.Contains(err.Error(), "hash") {
+			t.Errorf("tampered payload decoded: %v", err)
+		}
+	})
+	t.Run("wrong file count", func(t *testing.T) {
+		bad := bytes.Replace(wire, []byte(`"files":3`), []byte(`"files":2`), 1)
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Error("miscounted end line decoded")
+		}
+	})
+	t.Run("unsorted entries", func(t *testing.T) {
+		b := sampleBundle()
+		b.Files[0], b.Files[1] = b.Files[1], b.Files[0]
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(encode(b)))); err == nil {
+			t.Error("out-of-order manifest decoded")
+		}
+	})
+	t.Run("path-escaping name", func(t *testing.T) {
+		b := sampleBundle()
+		b.Files[0].Name = "../evil.ndjson"
+		var buf bytes.Buffer
+		if err := b.Encode(&buf); err == nil {
+			t.Error("encoder accepted a path-escaping name")
+		}
+		// Hand-craft the same attack on the wire.
+		bad := bytes.Replace(wire, []byte("trial-000002-seed-0000000000000003.ndjson"), []byte("../../../../../tmp/evil.x.ndjson.pad.ndj"), 1)
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Error("decoder accepted a path-escaping name")
+		}
+	})
+	t.Run("oversized declaration", func(t *testing.T) {
+		bad := bytes.Replace(wire, []byte(`"size":8`), []byte(`"size":999999999999`), 1)
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Error("absurd size declaration decoded")
+		}
+	})
+	t.Run("wrong schema", func(t *testing.T) {
+		bad := bytes.Replace(wire, []byte(`"schema":1`), []byte(`"schema":9`), 1)
+		if _, err := ReadBundle(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Error("future schema decoded")
+		}
+	})
+}
+
+// TestCaptureBundleKeepsLastLoopWrite drives a real capture through two
+// loops that reuse trial indices — the on-disk file ends up holding the
+// second loop's bytes, and the bundle must agree.
+func TestCaptureBundleKeepsLastLoopWrite(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCapture("test", Policy{Dir: dir, EveryK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(trial, rounds int) {
+		t.Helper()
+		rec := c.Recorder(trial)
+		rec.Header.Seed = 0x10 + uint64(trial)
+		for r := 1; r <= rounds; r++ {
+			rec.OnRound(r, []sim.Node{activeNode{true}}, []bool{true}, []int{-1})
+		}
+		rec.OnResult(sim.Result{Solved: false, Rounds: rounds, Winner: -1, Transmissions: int64(rounds)})
+		if err := c.Commit(trial, rec, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetLoop(0)
+	commit(0, 1)
+	commit(1, 2)
+	c.SetLoop(1)
+	commit(0, 3) // overwrites loop 0's trial-0 file
+
+	b, err := c.Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Policy.Dir != "" {
+		t.Errorf("bundle leaks the capture directory %q", b.Policy.Dir)
+	}
+	if len(b.Files) != 2 {
+		t.Fatalf("bundle has %d files, want 2 (per-name latest loop): %+v", len(b.Files), b.Files)
+	}
+	// Sorted by (loop, name): trial 1 from loop 0, then trial 0 from loop 1.
+	if b.Files[0].Loop != 0 || b.Files[0].Trial != 1 || b.Files[1].Loop != 1 || b.Files[1].Trial != 0 {
+		t.Fatalf("bundle order/provenance wrong: %+v", b.Files)
+	}
+	for _, f := range b.Files {
+		disk, err := os.ReadFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Data, disk) {
+			t.Errorf("bundle bytes for %s differ from the on-disk file", f.Name)
+		}
+	}
+
+	// WriteFiles reproduces the capture directory exactly.
+	out := t.TempDir()
+	n, err := WriteFiles(out, b.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("WriteFiles wrote %d names, want 2", n)
+	}
+	for _, f := range b.Files {
+		disk, err := os.ReadFile(filepath.Join(out, f.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Data, disk) {
+			t.Errorf("replayed bytes for %s differ", f.Name)
+		}
+	}
+}

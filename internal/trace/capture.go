@@ -107,6 +107,8 @@ type Capture struct {
 
 	pool    sync.Pool
 	mu      sync.Mutex
+	loop    int
+	entries []BundleFile // committed files (Data nil until bundled)
 	written []string
 	dropped int
 	made    bool
@@ -126,6 +128,21 @@ func NewCapture(cmd string, p Policy) (*Capture, error) {
 
 // Policy returns the capture's retention policy.
 func (c *Capture) Policy() Policy { return c.policy }
+
+// SetLoop tags subsequently committed traces with the experiment's current
+// trial-loop index. Experiments run several trial loops through one capture,
+// and loops reuse trial indices — so file names collide across loops and the
+// file a name holds at the end of the run is the last loop's write. The loop
+// tag preserves exactly that ordering information for federation: a shard
+// worker's Bundle keeps each name's highest-loop write, and the
+// coordinator's reassembly replays bundles in loop order. The caller
+// serializes SetLoop against commits (the experiment harness calls it
+// between loops, never while the loop's trials are in flight).
+func (c *Capture) SetLoop(loop int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loop = loop
+}
 
 // Recorder returns a recycled per-node recorder for the trial, or nil when
 // the sampling policy skips it. The recorder's header is pre-filled with
@@ -178,6 +195,7 @@ func (c *Capture) Commit(trial int, rec *Recorder, solved bool) error {
 	}
 	c.mu.Lock()
 	c.written = append(c.written, path)
+	c.entries = append(c.entries, BundleFile{Loop: c.loop, Trial: trial, Name: filepath.Base(path)})
 	c.mu.Unlock()
 	return nil
 }

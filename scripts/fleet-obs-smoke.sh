@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# fleet-obs-smoke: end-to-end exercise of fleet observability on real
+# binaries. Proves the three contracts of the federated-observability layer:
+# a sharded -trace-dir run over two crserve daemons reassembles a trace
+# directory byte-identical to the unsharded capture (with stdout untouched),
+# the coordinator span log is a well-formed timeline `crtrace spans` can
+# summarise, and `crshard -metrics-fleet` merges the daemons' /metrics into
+# one valid, sorted NDJSON snapshot. Shared by `make fleet-obs-smoke` and
+# CI's fleet-obs-smoke job.
+set -euo pipefail
+
+ADDR_A="${CRFLEET_ADDR_A:-127.0.0.1:8371}"
+ADDR_B="${CRFLEET_ADDR_B:-127.0.0.1:8372}"
+OUT="${CRFLEET_OUT:-bin}"
+mkdir -p "$OUT"
+
+go build -o "$OUT/crbench" ./cmd/crbench
+go build -o "$OUT/crshard" ./cmd/crshard
+go build -o "$OUT/crserve" ./cmd/crserve
+go build -o "$OUT/crtrace" ./cmd/crtrace
+
+SPEC_ARGS=(-ids E1 -quick -trials 4 -seed 7)
+
+# 1. Ground truth: unsharded crbench with local trace capture.
+rm -rf "$OUT/fleet-traces-unsharded" "$OUT/fleet-traces-sharded"
+"$OUT/crbench" "${SPEC_ARGS[@]}" -trace-dir "$OUT/fleet-traces-unsharded" \
+  -trace-every 1 -o "$OUT/fleet-unsharded.txt" 2>/dev/null
+
+"$OUT/crserve" -addr "$ADDR_A" -workers 2 2> "$OUT/crserve-fleet-a.log" &
+PID_A=$!
+"$OUT/crserve" -addr "$ADDR_B" -workers 2 2> "$OUT/crserve-fleet-b.log" &
+PID_B=$!
+trap 'kill -9 "$PID_A" "$PID_B" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  if curl -sf "http://$ADDR_A/healthz" >/dev/null &&
+     curl -sf "http://$ADDR_B/healthz" >/dev/null; then break; fi
+  sleep 0.1
+done
+
+# 2. Federated capture: a 3-shard run over both daemons must write a trace
+# directory byte-identical to the unsharded one, file for file, and keep
+# stdout byte-identical too.
+"$OUT/crshard" "${SPEC_ARGS[@]}" -shards 3 \
+  -endpoints "http://$ADDR_A,http://$ADDR_B" \
+  -trace-dir "$OUT/fleet-traces-sharded" -trace-every 1 \
+  -span-log "$OUT/fleet-spans.ndjson" \
+  -o "$OUT/fleet-sharded.txt" 2> "$OUT/crshard-fleet.log"
+cmp "$OUT/fleet-unsharded.txt" "$OUT/fleet-sharded.txt"
+
+want=$(ls "$OUT/fleet-traces-unsharded" | wc -l)
+got=$(ls "$OUT/fleet-traces-sharded" | wc -l)
+test "$want" -gt 0
+test "$want" -eq "$got"
+for f in "$OUT/fleet-traces-unsharded"/*; do
+  cmp "$f" "$OUT/fleet-traces-sharded/$(basename "$f")"
+done
+echo "trace federation byte-identical ($want files)"
+
+# 3. The coordinator span log summarises cleanly: a run span covering every
+# shard, all merged.
+"$OUT/crtrace" spans "$OUT/fleet-spans.ndjson" > "$OUT/fleet-spans.txt"
+grep -q 'shards=3' "$OUT/fleet-spans.txt"
+grep -q 'outcome   all shards merged' "$OUT/fleet-spans.txt"
+
+# 4. Fleet metrics: scrape both daemons' /metrics and merge. The snapshot
+# must be valid NDJSON with the fleet header, strictly sorted metric names,
+# and counters summed across sources (both daemons served HTTP requests).
+"$OUT/crshard" -metrics-fleet -endpoints "http://$ADDR_A,http://$ADDR_B" \
+  -o "$OUT/fleet-metrics.ndjson"
+if command -v jq >/dev/null 2>&1; then
+  jq -ce . "$OUT/fleet-metrics.ndjson" > /dev/null
+  head -1 "$OUT/fleet-metrics.ndjson" |
+    jq -e '.event == "fleet" and .schema == 1 and .sources == 2' > /dev/null
+  jq -se '[.[1:][] | .name] | . == sort and length > 0' \
+    "$OUT/fleet-metrics.ndjson" > /dev/null
+  jq -se '[.[] | select(.event == "counter" and .name == "serve.jobs_done")]
+          | length == 1 and .[0].value >= 3' "$OUT/fleet-metrics.ndjson" > /dev/null
+  echo "fleet metrics snapshot valid"
+else
+  echo "jq not installed, skipping fleet metrics validation"
+fi
+
+kill -TERM "$PID_A" "$PID_B" 2>/dev/null || true
+wait "$PID_A" 2>/dev/null || true
+wait "$PID_B" 2>/dev/null || true
+trap - EXIT
+echo "fleet-obs-smoke OK"

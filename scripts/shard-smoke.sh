@@ -55,9 +55,10 @@ rm -f "$OUT/shard-killed.txt"
   -retries 1 -backoff 50ms -shard-timeout 30s \
   -o "$OUT/shard-killed.txt" 2> "$OUT/crshard-killed.log"
 cmp "$OUT/shard-unsharded.txt" "$OUT/shard-killed.txt"
-# The dead endpoint was noticed and its shard recovered elsewhere.
-grep -q "gave up" "$OUT/crshard-killed.log"
-grep -q "http://$ADDR_A)" "$OUT/crshard-killed.log"
+# The dead endpoint was noticed and its shard recovered elsewhere. The
+# coordinator's stderr is structured NDJSON, so the checks are jq-shaped.
+grep -q '"msg":"gave up"' "$OUT/crshard-killed.log"
+grep -q "\"msg\":\"shard done\".*\"executor\":\"http://$ADDR_A\"" "$OUT/crshard-killed.log"
 
 kill -TERM "$PID_A" 2>/dev/null || true
 wait "$PID_A" 2>/dev/null || true
